@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments              # run everything at full fidelity
+//	experiments -e fig7      # run one experiment
+//	experiments -quick       # reduced simulation windows
+//	experiments -list        # list experiment IDs
+//	experiments -seed 7      # change the RNG seed
+//
+// Output is plain text: one aligned table per figure series plus a
+// REPRODUCED/MISMATCH verdict per headline finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		id    = flag.String("e", "", "experiment ID (empty = all)")
+		quick = flag.Bool("quick", false, "reduced simulation windows")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		seed  = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed}
+	var toRun []experiments.Experiment
+	if *id != "" {
+		e, err := experiments.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		toRun = append(toRun, e)
+	} else {
+		toRun = experiments.All()
+	}
+
+	mismatches := 0
+	for _, e := range toRun {
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		res.Write(os.Stdout)
+		if !res.AllMatch() {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) had mismatched findings\n", mismatches)
+		os.Exit(1)
+	}
+}

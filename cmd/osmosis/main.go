@@ -1,0 +1,176 @@
+// Command osmosis simulates a single-stage OSMOSIS switch and prints
+// delay, throughput, and compliance statistics.
+//
+// Usage examples:
+//
+//	osmosis                                   # 64-port demonstrator, uniform 0.5 load
+//	osmosis -load 0.95 -scheduler flppr       # near saturation
+//	osmosis -scheduler pipelined-islip        # the Fig.-6 prior art
+//	osmosis -receivers 1                      # single-receiver egress
+//	osmosis -traffic bursty -burst 32         # bursty workload
+//	osmosis -sweep 0.1,0.3,0.5,0.7,0.9,0.99   # delay-vs-load curve
+//	osmosis -table1                           # verify Table 1 at the ASIC target
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crossbar"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		ports     = flag.Int("ports", 64, "switch port count")
+		receivers = flag.Int("receivers", 2, "receivers per egress (1 or 2)")
+		schedName = flag.String("scheduler", "flppr", "flppr | islip | pipelined-islip | pim | lqf | ideal-oq")
+		param     = flag.Int("k", 0, "scheduler iterations / FLPPR sub-schedulers (0 = log2 N)")
+		load      = flag.Float64("load", 0.5, "offered load per port (cells/slot)")
+		kind      = flag.String("traffic", "uniform", "uniform | bursty | hotspot | permutation | diagonal | bimodal")
+		burst     = flag.Float64("burst", 16, "mean burst length for bursty traffic")
+		hotFrac   = flag.Float64("hotfrac", 0.5, "hotspot fraction")
+		warmup    = flag.Uint64("warmup", 2000, "warm-up slots")
+		measure   = flag.Uint64("measure", 10000, "measured slots")
+		seed      = flag.Uint64("seed", 1, "RNG seed")
+		rttCycles = flag.Int("control-rtt", 0, "adapter-to-scheduler round trip in cycles")
+		sweepStr  = flag.String("sweep", "", "comma-separated loads for a delay-vs-load sweep")
+		table1    = flag.Bool("table1", false, "verify Table 1 at the ASIC target format and exit")
+		asic      = flag.Bool("asic", false, "use the ASIC-target cell format (12 GByte/s ports)")
+	)
+	flag.Parse()
+
+	sysCfg := core.DemonstratorConfig()
+	sysCfg.Ports = *ports
+	sysCfg.Receivers = *receivers
+	sysCfg.Scheduler = core.SchedulerKind(*schedName)
+	sysCfg.SubSchedulers = *param
+	sysCfg.ControlRTTCycles = *rttCycles
+	sysCfg.Seed = *seed
+	if *asic || *table1 {
+		sysCfg.Format = core.ASICTargetFormat()
+	}
+	sys, err := core.NewSystem(sysCfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("OSMOSIS single-stage switch: %d ports x %v, %d receiver(s), scheduler %s\n",
+		*ports, sysCfg.Format.LineRate, *receivers, *schedName)
+	fmt.Printf("cell %d B, cycle %v, effective user bandwidth %.1f%%, optical margin %.2f dB\n\n",
+		sysCfg.Format.CellBytes, sysCfg.Format.CycleTime(),
+		sysCfg.Format.EffectiveUserBandwidthFraction()*100, float64(sys.WorstMargin))
+
+	if *table1 {
+		sat, err := sys.RunUniform(0.99, *warmup, *measure)
+		if err != nil {
+			fatal(err)
+		}
+		light, err := sys.RunUniform(0.05, *warmup/2, *measure/2)
+		if err != nil {
+			fatal(err)
+		}
+		rep := sys.Verify(core.Table1(), sat, light.Latency.Mean(), 2048)
+		fmt.Print(rep)
+		if !rep.Pass() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *sweepStr != "" {
+		loads, err := parseLoads(*sweepStr)
+		if err != nil {
+			fatal(err)
+		}
+		swCfg, err := sys.SwitchConfig()
+		if err != nil {
+			fatal(err)
+		}
+		mk := func() sched.Scheduler {
+			s, err := core.BuildScheduler(sysCfg.Scheduler, *ports, *param, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			return s
+		}
+		if sysCfg.Scheduler == core.SchedIdealOQ {
+			mk = nil
+		}
+		results, err := crossbar.Sweep(swCfg, mk, loads, *seed, *warmup, *measure)
+		if err != nil {
+			fatal(err)
+		}
+		tb := stats.NewTable("delay vs load", "load", "value")
+		d := tb.AddSeries("delay_cycles")
+		th := tb.AddSeries("throughput")
+		for _, r := range results {
+			d.Add(r.Load, r.MeanSlots)
+			th.Add(r.Load, r.Throughput)
+		}
+		tb.Write(os.Stdout)
+		return
+	}
+
+	tcfg := traffic.Config{Load: *load, Seed: *seed, MeanBurst: *burst, HotFraction: *hotFrac}
+	switch *kind {
+	case "uniform":
+		tcfg.Kind = traffic.KindUniform
+	case "bursty":
+		tcfg.Kind = traffic.KindBursty
+	case "hotspot":
+		tcfg.Kind = traffic.KindHotspot
+	case "permutation":
+		tcfg.Kind = traffic.KindPermutation
+	case "diagonal":
+		tcfg.Kind = traffic.KindDiagonal
+	case "bimodal":
+		tcfg.Kind = traffic.KindBimodal
+	default:
+		fatal(fmt.Errorf("unknown traffic kind %q", *kind))
+	}
+	m, err := sys.RunWorkload(tcfg, *warmup, *measure)
+	if err != nil {
+		fatal(err)
+	}
+	printMetrics(m, *ports)
+}
+
+func printMetrics(m *crossbar.Metrics, ports int) {
+	fmt.Printf("offered cells        %d\n", m.Offered)
+	fmt.Printf("delivered cells      %d\n", m.Delivered)
+	fmt.Printf("throughput/port      %.4f cells/slot\n", m.ThroughputPerPort(ports))
+	fmt.Printf("acceptance ratio     %.4f\n", m.AcceptanceRatio())
+	fmt.Printf("mean delay           %.2f cycles (%v)\n", m.MeanLatencySlots(), m.Latency.Mean())
+	fmt.Printf("p99 delay            %v\n", m.Latency.P99())
+	fmt.Printf("grant latency        %.2f cycles\n", m.GrantLatency.Mean())
+	if m.ControlLatency.N() > 0 {
+		fmt.Printf("control-cell delay   %v (n=%d)\n", m.ControlLatency.Mean(), m.ControlLatency.N())
+	}
+	fmt.Printf("max VOQ depth        %d cells\n", m.MaxVOQDepth)
+	fmt.Printf("max egress depth     %d cells\n", m.MaxEgressDepth)
+	fmt.Printf("order violations     %d\n", m.OrderViolations)
+	fmt.Printf("drops                %d\n", m.Dropped)
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Opticalbudget: walk the photonic data path of the demonstrator —
+// per-stage power budget of the broadcast-and-select crossbar, SOA
+// crosstalk, the DPSK-versus-NRZ saturation study of Fig. 10, and the
+// FEC + retransmission error budget the optical BER necessitates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fec"
+	"repro/internal/optics"
+	"repro/internal/units"
+)
+
+func main() {
+	p := optics.DemonstratorParams()
+	xb, err := optics.NewCrossbar(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("broadcast-and-select crossbar: %d ports = %d fibers x %d colors, %d switching modules\n\n",
+		p.Ports, p.Fibers(), p.Colors, xb.Modules())
+
+	// The full path budget for one representative input/module pair.
+	b, err := xb.PathBudget(42, xb.ModuleOf(17, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("path budget, ingress 42 -> egress 17 (launch %+.1f dBm):\n", float64(p.LaunchPower))
+	for _, st := range b.Stages {
+		fmt.Printf("  %-18s %+6.1f dB -> %+7.2f dBm\n", st.Name, float64(st.Delta), float64(st.Power))
+	}
+	fmt.Printf("  receive %.2f dBm, sensitivity %.1f dBm, margin %.2f dB\n",
+		float64(b.Receive), float64(p.RxSensitivity), float64(b.Margin))
+	fmt.Printf("  crosstalk %.1f dBm -> signal-to-crosstalk %.1f dB\n\n",
+		float64(b.Crosstalk), float64(b.SignalToCrosstalk))
+
+	worst, err := xb.VerifyAllPaths()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all %d paths close the budget; worst margin %.2f dB\n\n", p.Ports*xb.Modules(), float64(worst))
+
+	// Fig. 10: why DPSK.
+	m := optics.NewXGMModel()
+	fmt.Println("XGM saturation (Fig. 10): OSNR penalty (dB) vs SOA input power")
+	fmt.Printf("%8s  %12s  %12s  %12s  %12s\n", "pin_dBm", "NRZ@1e-6", "NRZ@1e-10", "DPSK@1e-6", "DPSK@1e-10")
+	for pin := units.DBm(0); pin <= 20; pin += 4 {
+		fmt.Printf("%8.0f  %12.3f  %12.3f  %12.3f  %12.3f\n", float64(pin),
+			float64(m.Penalty(optics.NRZ, optics.BER1e6, pin)),
+			float64(m.Penalty(optics.NRZ, optics.BER1e10, pin)),
+			float64(m.Penalty(optics.DPSK, optics.BER1e6, pin)),
+			float64(m.Penalty(optics.DPSK, optics.BER1e10, pin)))
+	}
+	fmt.Printf("DPSK input-loading improvement at 1 dB penalty: %.1f dB (paper: 14 dB)\n\n",
+		float64(m.DPSKImprovement(optics.BER1e10, 1)))
+
+	// The error budget the optical BER forces (§IV.C).
+	fmt.Println("two-tier error budget from the optical raw BER:")
+	for _, raw := range []float64{1e-10, 1e-11, 1e-12} {
+		fmt.Printf("  raw %.0e -> FEC user %.2e -> +retransmission %.2e\n",
+			raw, fec.UserBER(raw), fec.ResidualBER(raw))
+	}
+}

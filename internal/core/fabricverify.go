@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/units"
+)
+
+// Fabric-level Table-1 verification: the single-switch Verify covers the
+// switch element; VerifyFabric scores a full multistage simulation —
+// port count from the actual topology, end-to-end latency against the
+// 500 ns fabric budget, losslessness under flow control, and in-order
+// delivery across stages.
+
+// VerifyFabric evaluates a measured multistage run against Table 1.
+// sat must come from a near-saturation run and light from a light-load
+// run of an identically configured fabric.
+func VerifyFabric(req Requirements, net fabric.Net, sat, light *fabric.Metrics, budget FabricLatencyBudget) Report {
+	var r Report
+	add := func(name, required, measured string, pass bool) {
+		r.Checks = append(r.Checks, Check{Name: name, Required: required, Measured: measured, Pass: pass})
+	}
+
+	add("fabric port count",
+		fmt.Sprintf(">= %d", req.MinFabricPorts),
+		fmt.Sprintf("%d hosts, %d stages", net.HostCount(), net.StageCount()),
+		net.HostCount() >= req.MinFabricPorts)
+
+	lightLat := units.Time(float64(light.LatencySlots.Mean()) * float64(light.CycleTime))
+	add("fabric latency",
+		fmt.Sprintf("<= %v incl. cables", budget.Total),
+		lightLat.String(),
+		lightLat <= budget.Total)
+
+	thr := sat.ThroughputPerHost(net.HostCount())
+	add("sustained throughput",
+		fmt.Sprintf("> %.0f%%", req.SustainedThroughput*100),
+		fmt.Sprintf("%.1f%%", thr*100),
+		thr > req.SustainedThroughput)
+
+	add("packet loss",
+		"transmission errors only",
+		fmt.Sprintf("%d buffer drops", sat.Dropped+light.Dropped),
+		!req.LossOnlyFromTransmission || sat.Dropped+light.Dropped == 0)
+
+	add("packet ordering",
+		"maintained per in/out pair",
+		fmt.Sprintf("%d violations", sat.OrderViolations+light.OrderViolations),
+		!req.OrderingRequired || sat.OrderViolations+light.OrderViolations == 0)
+
+	return r
+}
+
+// BuildAndVerifyFabric runs the full recipe: build the fabric at the
+// given scale, run near saturation and at light load, and score it.
+// Large configurations are slow; tests use scaled-down instances with a
+// relaxed MinFabricPorts.
+func BuildAndVerifyFabric(req Requirements, cfg fabric.Config, satLoad, lightLoad float64, warmup, measure uint64, seedOffset uint64) (Report, error) {
+	run := func(load float64) (*fabric.Metrics, fabric.Net, error) {
+		f, err := fabric.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		gens, err := buildUniform(f.Network().HostCount(), load, 1+seedOffset)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := f.Run(gens, warmup, measure)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, f.Network(), nil
+	}
+	sat, net, err := run(satLoad)
+	if err != nil {
+		return Report{}, err
+	}
+	light, _, err := run(lightLoad)
+	if err != nil {
+		return Report{}, err
+	}
+	return VerifyFabric(req, net, sat, light, PaperBudget()), nil
+}

@@ -1,0 +1,455 @@
+// Package crossbar simulates a single-stage OSMOSIS switch: N ingress
+// adapters with VOQs, a central arbiter, a bufferless (optical) crossbar
+// with one transmitter per input and one or two receivers per output,
+// and egress queues draining one cell per cycle onto the output lines.
+//
+// The engine is cell-slot synchronous, mirroring the demonstrator's
+// 51.2 ns packet cycle: all inputs launch simultaneously while the SOA
+// gates reconfigure during the guard time. Simulated time is
+// slot * Format.CycleTime().
+package crossbar
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// Config describes one single-stage switch experiment.
+type Config struct {
+	// N is the port count (64 for the demonstrator).
+	N int
+	// Receivers per egress adapter: 1 (single) or 2 (OSMOSIS dual path).
+	Receivers int
+	// Scheduler arbitrates the crossbar. Ignored when IdealOQ is set.
+	Scheduler sched.Scheduler
+	// Format defines the cell timing; zero value selects OSMOSISFormat.
+	Format packet.Format
+	// EgressCapacity bounds egress queues in cells; 0 means unbounded.
+	EgressCapacity int
+	// IdealOQ bypasses the crossbar entirely: every arrival lands in its
+	// egress queue in the same slot. This is the output-queued reference
+	// curve traditional electronic fabrics achieve (§III, ref [16]).
+	IdealOQ bool
+	// ControlRTTCycles adds a fixed request/grant round-trip (in cycles)
+	// between adapters and the scheduler, modelling the adapter-to-
+	// scheduler cabling of Fig. 1. Grants act on the matching computed
+	// that many cycles earlier.
+	ControlRTTCycles int
+	// OnMatch, when set, observes the matching executed each cycle —
+	// the hook the optical data path uses to reconfigure its SOA gates
+	// in lockstep with the arbiter.
+	OnMatch func(slot uint64, m sched.Matching)
+}
+
+// Metrics aggregates a run's measurements.
+type Metrics struct {
+	// Offered and Delivered count cells during the measurement window.
+	Offered, Delivered uint64
+	// Dropped counts cells lost to egress overflow (must be zero in any
+	// valid HPC configuration; kept to prove losslessness).
+	Dropped uint64
+	// MeasureSlots is the length of the measurement window.
+	MeasureSlots uint64
+	// Latency is the end-to-end cell delay (arrival to line-out start).
+	Latency stats.LatencySample
+	// ControlLatency is the same for control-class cells only.
+	ControlLatency stats.LatencySample
+	// GrantLatency is the VOQ waiting time in slots (request to grant),
+	// the Fig. 6 metric.
+	GrantLatency stats.Running
+	// MaxVOQDepth is the deepest any single ingress VOQ set got.
+	MaxVOQDepth int
+	// MaxEgressDepth is the deepest any egress queue got.
+	MaxEgressDepth int
+	// OrderViolations counts out-of-order deliveries (must be zero).
+	OrderViolations uint64
+	// CycleTime scales slots to time.
+	CycleTime units.Time
+}
+
+// ThroughputPerPort reports delivered cells per port per slot during the
+// measurement window — the y axis normalization of Fig. 7.
+func (m *Metrics) ThroughputPerPort(n int) float64 {
+	if m.MeasureSlots == 0 || n == 0 {
+		return 0
+	}
+	return float64(m.Delivered) / float64(m.MeasureSlots) / float64(n)
+}
+
+// AcceptanceRatio reports delivered/offered — the "sustained throughput"
+// requirement of Table 1 when the switch is saturated.
+func (m *Metrics) AcceptanceRatio() float64 {
+	if m.Offered == 0 {
+		return 1
+	}
+	return float64(m.Delivered) / float64(m.Offered)
+}
+
+// MeanLatencySlots reports mean end-to-end delay in packet cycles.
+func (m *Metrics) MeanLatencySlots() float64 {
+	if m.Latency.N() == 0 {
+		return 0
+	}
+	return float64(m.Latency.Mean()) / float64(m.CycleTime)
+}
+
+// Switch is a runnable single-stage switch instance.
+type Switch struct {
+	cfg    Config
+	format packet.Format
+
+	voqs   []*voqSet
+	egress []*egressQ
+	alloc  *packet.Allocator
+	order  *packet.OrderChecker
+
+	// grantDelay delays matchings by ControlRTTCycles.
+	grantDelay []sched.Matching
+
+	slot      uint64
+	measuring bool
+	metrics   Metrics
+}
+
+// voqSet and egressQ are thin local wrappers so the crossbar package
+// controls commit bookkeeping; they mirror internal/voq types but track
+// the injection slot on the cell for grant-latency measurement.
+type voqSet struct {
+	n         int
+	queues    [2][]fifo // [class][out]
+	committed []int
+	depth     int
+}
+
+type fifo struct {
+	cells []*packet.Cell
+	head  int
+}
+
+func (f *fifo) len() int { return len(f.cells) - f.head }
+
+func (f *fifo) push(c *packet.Cell) { f.cells = append(f.cells, c) }
+
+func (f *fifo) pop() *packet.Cell {
+	if f.len() == 0 {
+		return nil
+	}
+	c := f.cells[f.head]
+	f.cells[f.head] = nil
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.cells) {
+		n := copy(f.cells, f.cells[f.head:])
+		f.cells = f.cells[:n]
+		f.head = 0
+	}
+	return c
+}
+
+func newVOQSet(n int) *voqSet {
+	v := &voqSet{n: n, committed: make([]int, n)}
+	v.queues[0] = make([]fifo, n)
+	v.queues[1] = make([]fifo, n)
+	return v
+}
+
+func (v *voqSet) push(c *packet.Cell, out int) {
+	cls := 0
+	if c.Class == packet.Control {
+		cls = 1
+	}
+	v.queues[cls][out].push(c)
+	v.depth++
+}
+
+func (v *voqSet) backlog(out int) int {
+	return v.queues[0][out].len() + v.queues[1][out].len()
+}
+
+func (v *voqSet) pop(out int) *packet.Cell {
+	var c *packet.Cell
+	if v.queues[1][out].len() > 0 {
+		c = v.queues[1][out].pop()
+	} else {
+		c = v.queues[0][out].pop()
+	}
+	if c != nil {
+		v.depth--
+		if v.committed[out] > 0 {
+			v.committed[out]--
+		}
+	}
+	return c
+}
+
+type egressQ struct {
+	receivers int
+	capacity  int
+	q         fifo
+}
+
+// board adapts the switch's VOQ state to the scheduler interface.
+type board struct{ s *Switch }
+
+func (b board) N() int         { return b.s.cfg.N }
+func (b board) Receivers() int { return b.s.cfg.Receivers }
+
+func (b board) Demand(in, out int) int {
+	v := b.s.voqs[in]
+	d := v.backlog(out) - v.committed[out]
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func (b board) Commit(in, out int) { b.s.voqs[in].committed[out]++ }
+
+func (b board) Uncommit(in, out int) {
+	v := b.s.voqs[in]
+	if v.committed[out] > 0 {
+		v.committed[out]--
+	}
+}
+
+// New builds a switch from cfg, applying defaults: 64 ports, dual
+// receivers, FLPPR scheduler, OSMOSIS cell format.
+func New(cfg Config) (*Switch, error) {
+	if cfg.N <= 0 {
+		cfg.N = 64
+	}
+	if cfg.Receivers <= 0 {
+		cfg.Receivers = 2
+	}
+	if cfg.Format.CellBytes == 0 {
+		cfg.Format = packet.OSMOSISFormat()
+	}
+	if cfg.Scheduler == nil && !cfg.IdealOQ {
+		cfg.Scheduler = sched.NewFLPPR(cfg.N, 0)
+	}
+	if cfg.ControlRTTCycles < 0 {
+		return nil, fmt.Errorf("crossbar: negative control RTT %d", cfg.ControlRTTCycles)
+	}
+	s := &Switch{cfg: cfg, format: cfg.Format}
+	s.voqs = make([]*voqSet, cfg.N)
+	s.egress = make([]*egressQ, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		s.voqs[i] = newVOQSet(cfg.N)
+		s.egress[i] = &egressQ{receivers: cfg.Receivers, capacity: cfg.EgressCapacity}
+	}
+	s.alloc = packet.NewAllocator()
+	s.order = packet.NewOrderChecker()
+	s.metrics.CycleTime = cfg.Format.CycleTime()
+	for i := 0; i < cfg.ControlRTTCycles; i++ {
+		s.grantDelay = append(s.grantDelay, sched.NewMatching(cfg.N))
+	}
+	return s, nil
+}
+
+// N reports the port count.
+func (s *Switch) N() int { return s.cfg.N }
+
+// Slot reports the current cycle number.
+func (s *Switch) Slot() uint64 { return s.slot }
+
+// Metrics exposes the collected measurements.
+func (s *Switch) Metrics() *Metrics { return &s.metrics }
+
+// now reports the simulated time at the current slot.
+func (s *Switch) now() units.Time {
+	return units.Time(s.slot) * s.metrics.CycleTime
+}
+
+// StartMeasurement begins the measurement window (call after warm-up).
+// measureSlots is recorded for throughput normalization.
+func (s *Switch) StartMeasurement(measureSlots uint64) {
+	s.measuring = true
+	s.metrics.MeasureSlots = measureSlots
+}
+
+// Step advances the switch by one packet cycle. arrivals[i], when
+// non-nil, is the cell arriving at input i this cycle.
+func (s *Switch) Step(arrivals []*packet.Cell) {
+	now := s.now()
+	// 1. Arrivals enter the VOQs (or the egress directly for ideal OQ).
+	for in, c := range arrivals {
+		if c == nil {
+			continue
+		}
+		c.Injected = now
+		if s.measuring {
+			s.metrics.Offered++
+		}
+		if s.cfg.IdealOQ {
+			s.receive(c, c.Dst)
+			continue
+		}
+		s.voqs[in].push(c, c.Dst)
+	}
+	// 2. Arbitrate and (after the control RTT) execute the matching.
+	if !s.cfg.IdealOQ {
+		m := s.cfg.Scheduler.Tick(s.slot, board{s})
+		if len(s.grantDelay) > 0 || s.cfg.ControlRTTCycles > 0 {
+			// A delayed matching's cells must be reserved until it
+			// executes; pipelined schedulers reserve their own edges.
+			if !s.cfg.Scheduler.SelfCommits() {
+				for in, out := range m.Out {
+					if out >= 0 {
+						s.voqs[in].committed[out]++
+					}
+				}
+			}
+			s.grantDelay = append(s.grantDelay, m)
+			m = s.grantDelay[0]
+			s.grantDelay = s.grantDelay[1:]
+		}
+		if s.cfg.OnMatch != nil {
+			s.cfg.OnMatch(s.slot, m)
+		}
+		for in, out := range m.Out {
+			if out < 0 {
+				continue
+			}
+			c := s.voqs[in].pop(out)
+			if c == nil {
+				// A matching edge found no cell (possible only with a
+				// mis-behaving scheduler); surface it loudly in tests.
+				continue
+			}
+			if s.measuring {
+				wait := float64(now-c.Injected)/float64(s.metrics.CycleTime) + 1
+				s.metrics.GrantLatency.Add(wait)
+			}
+			s.receive(c, out)
+		}
+	}
+	// 3. Egress lines each transmit one cell.
+	for _, e := range s.egress {
+		if e.q.len() == 0 {
+			continue
+		}
+		c := e.q.pop()
+		c.Delivered = now + s.metrics.CycleTime // line-out completes end of slot
+		if !s.order.Deliver(c) && s.measuring {
+			s.metrics.OrderViolations++
+		}
+		if s.measuring {
+			s.metrics.Delivered++
+			s.metrics.Latency.Add(c.Delivered - c.Created)
+			if c.Class == packet.Control {
+				s.metrics.ControlLatency.Add(c.Delivered - c.Created)
+			}
+		}
+	}
+	// 4. Depth tracking.
+	for _, v := range s.voqs {
+		if v.depth > s.metrics.MaxVOQDepth {
+			s.metrics.MaxVOQDepth = v.depth
+		}
+	}
+	for _, e := range s.egress {
+		if e.q.len() > s.metrics.MaxEgressDepth {
+			s.metrics.MaxEgressDepth = e.q.len()
+		}
+	}
+	s.slot++
+}
+
+// receive delivers a cell across the crossbar into an egress queue.
+func (s *Switch) receive(c *packet.Cell, out int) {
+	e := s.egress[out]
+	if e.capacity > 0 && e.q.len() >= e.capacity {
+		if s.measuring {
+			s.metrics.Dropped++
+		}
+		return
+	}
+	c.Hops++
+	e.q.push(c)
+}
+
+// Drained reports whether all queues are empty.
+func (s *Switch) Drained() bool {
+	for _, v := range s.voqs {
+		if v.depth > 0 {
+			return false
+		}
+	}
+	for _, e := range s.egress {
+		if e.q.len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RunResult couples a config and its metrics for reporting.
+type RunResult struct {
+	Load       float64
+	Metrics    *Metrics
+	Throughput float64
+	MeanSlots  float64
+}
+
+// Run drives the switch with the given per-port generators for warmup
+// plus measure slots and returns the metrics. The allocator stamps
+// Created at the arrival slot.
+func (s *Switch) Run(gens []traffic.Generator, warmup, measure uint64) *Metrics {
+	if len(gens) != s.cfg.N {
+		panic(fmt.Sprintf("crossbar: %d generators for %d ports", len(gens), s.cfg.N))
+	}
+	arrivals := make([]*packet.Cell, s.cfg.N)
+	total := warmup + measure
+	for t := uint64(0); t < total; t++ {
+		if t == warmup {
+			s.StartMeasurement(measure)
+		}
+		now := s.now()
+		for i, g := range gens {
+			arrivals[i] = nil
+			if a, ok := g.Next(s.slot); ok {
+				cls := packet.Data
+				if a.Class == traffic.ClassControl {
+					cls = packet.Control
+				}
+				arrivals[i] = s.alloc.New(i, a.Dst, cls, now)
+			}
+		}
+		s.Step(arrivals)
+	}
+	return &s.metrics
+}
+
+// Sweep runs a fresh switch per load point and reports delay vs
+// throughput — the Fig. 7 measurement harness.
+func Sweep(base Config, mkSched func() sched.Scheduler, loads []float64, seed uint64, warmup, measure uint64) ([]RunResult, error) {
+	results := make([]RunResult, 0, len(loads))
+	for _, load := range loads {
+		cfg := base
+		if mkSched != nil {
+			cfg.Scheduler = mkSched()
+		}
+		sw, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		gens, err := traffic.Build(traffic.Config{
+			Kind: traffic.KindUniform, N: sw.N(), Load: load, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m := sw.Run(gens, warmup, measure)
+		results = append(results, RunResult{
+			Load:       load,
+			Metrics:    m,
+			Throughput: m.ThroughputPerPort(sw.N()),
+			MeanSlots:  m.MeanLatencySlots(),
+		})
+	}
+	return results, nil
+}

@@ -1,0 +1,233 @@
+package crossbar
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sched"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+func runUniform(t *testing.T, cfg Config, load float64, warmup, measure uint64, seed uint64) (*Switch, *Metrics) {
+	t.Helper()
+	sw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := traffic.Build(traffic.Config{Kind: traffic.KindUniform, N: sw.N(), Load: load, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sw.Run(gens, warmup, measure)
+	return sw, m
+}
+
+func TestDefaults(t *testing.T) {
+	sw, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.N() != 64 {
+		t.Errorf("default ports %d", sw.N())
+	}
+	if sw.Metrics().CycleTime != 51200*units.Picosecond {
+		t.Errorf("default cycle %v", sw.Metrics().CycleTime)
+	}
+}
+
+func TestRejectsNegativeControlRTT(t *testing.T) {
+	if _, err := New(Config{ControlRTTCycles: -1}); err == nil {
+		t.Error("negative control RTT accepted")
+	}
+}
+
+func TestConservationAndOrder(t *testing.T) {
+	cfg := Config{N: 16, Receivers: 2, Scheduler: sched.NewFLPPR(16, 0)}
+	sw, m := runUniform(t, cfg, 0.8, 500, 3000, 11)
+	if m.OrderViolations != 0 {
+		t.Errorf("order violations: %d", m.OrderViolations)
+	}
+	if m.Dropped != 0 {
+		t.Errorf("drops with unbounded egress: %d", m.Dropped)
+	}
+	// Drain and verify cell conservation.
+	empty := make([]*packet.Cell, 16)
+	for i := 0; i < 2000 && !sw.Drained(); i++ {
+		sw.Step(empty)
+	}
+	if !sw.Drained() {
+		t.Error("switch failed to drain")
+	}
+	if m.Delivered < m.Offered {
+		t.Errorf("offered %d > delivered %d after drain", m.Offered, m.Delivered)
+	}
+}
+
+func TestSustainedThroughput(t *testing.T) {
+	// Table 1: > 95% sustained throughput near saturation.
+	cfg := Config{N: 32, Receivers: 2, Scheduler: sched.NewFLPPR(32, 0)}
+	_, m := runUniform(t, cfg, 0.98, 2000, 6000, 5)
+	if thr := m.ThroughputPerPort(32); thr < 0.95 {
+		t.Errorf("throughput at 0.98 load: %.3f, Table 1 needs > 0.95", thr)
+	}
+	if acc := m.AcceptanceRatio(); acc < 0.97 {
+		t.Errorf("acceptance %.3f", acc)
+	}
+}
+
+func TestFLPPRGrantLatencyLightLoad(t *testing.T) {
+	// Fig. 6: FLPPR grants in ~1 cycle at light load.
+	cfg := Config{N: 64, Receivers: 2, Scheduler: sched.NewFLPPR(64, 0)}
+	_, m := runUniform(t, cfg, 0.1, 500, 3000, 7)
+	if g := m.GrantLatency.Mean(); g > 1.2 {
+		t.Errorf("FLPPR light-load grant latency %.2f cycles, want ~1", g)
+	}
+}
+
+func TestPipelinedGrantLatencyLightLoad(t *testing.T) {
+	// Fig. 6: prior art takes log2(64) = 6 cycles.
+	cfg := Config{N: 64, Receivers: 1, Scheduler: sched.NewPipelinedISLIP(64, 0)}
+	_, m := runUniform(t, cfg, 0.1, 500, 3000, 7)
+	if g := m.GrantLatency.Mean(); math.Abs(g-6) > 0.5 {
+		t.Errorf("prior-art light-load grant latency %.2f cycles, want ~6", g)
+	}
+}
+
+func TestDualReceiverImprovesDelay(t *testing.T) {
+	// Fig. 7: at medium-high load the dual-receiver delay stays near
+	// flat while single receiver climbs.
+	mk := func() sched.Scheduler { return sched.NewFLPPR(64, 0) }
+	cfgS := Config{N: 64, Receivers: 1, Scheduler: mk()}
+	_, mS := runUniform(t, cfgS, 0.9, 1000, 4000, 3)
+	cfgD := Config{N: 64, Receivers: 2, Scheduler: mk()}
+	_, mD := runUniform(t, cfgD, 0.9, 1000, 4000, 3)
+	if mD.MeanLatencySlots() >= mS.MeanLatencySlots() {
+		t.Errorf("dual receiver (%.2f slots) should beat single (%.2f slots) at 0.9 load",
+			mD.MeanLatencySlots(), mS.MeanLatencySlots())
+	}
+}
+
+func TestIdealOQIsLowerBound(t *testing.T) {
+	cfgOQ := Config{N: 32, IdealOQ: true}
+	_, mOQ := runUniform(t, cfgOQ, 0.9, 1000, 4000, 9)
+	cfgX := Config{N: 32, Receivers: 1, Scheduler: sched.NewISLIP(32, 0)}
+	_, mX := runUniform(t, cfgX, 0.9, 1000, 4000, 9)
+	if mOQ.MeanLatencySlots() > mX.MeanLatencySlots()+0.2 {
+		t.Errorf("ideal OQ delay %.2f should lower-bound crossbar %.2f",
+			mOQ.MeanLatencySlots(), mX.MeanLatencySlots())
+	}
+}
+
+func TestControlRTTAddsLatency(t *testing.T) {
+	base := Config{N: 16, Receivers: 2, Scheduler: sched.NewFLPPR(16, 0)}
+	_, m0 := runUniform(t, base, 0.2, 500, 2000, 13)
+	far := Config{N: 16, Receivers: 2, Scheduler: sched.NewFLPPR(16, 0), ControlRTTCycles: 10}
+	_, m10 := runUniform(t, far, 0.2, 500, 2000, 13)
+	diff := m10.MeanLatencySlots() - m0.MeanLatencySlots()
+	if math.Abs(diff-10) > 1 {
+		t.Errorf("10-cycle control RTT added %.2f slots of latency, want ~10", diff)
+	}
+	if m10.OrderViolations != 0 {
+		t.Errorf("control RTT broke ordering: %d", m10.OrderViolations)
+	}
+}
+
+func TestControlRTTWithNonCommittingScheduler(t *testing.T) {
+	// The engine must reserve delayed matchings for iSLIP/PIM too.
+	cfg := Config{N: 8, Receivers: 1, Scheduler: sched.NewISLIP(8, 0), ControlRTTCycles: 4}
+	_, m := runUniform(t, cfg, 0.6, 500, 3000, 17)
+	if m.OrderViolations != 0 || m.Dropped != 0 {
+		t.Errorf("violations=%d drops=%d", m.OrderViolations, m.Dropped)
+	}
+	if acc := m.AcceptanceRatio(); acc < 0.95 {
+		t.Errorf("acceptance with delayed grants %.3f", acc)
+	}
+}
+
+func TestEgressCapacityLossAccounting(t *testing.T) {
+	// A deliberately tiny egress with dual receivers must overflow and
+	// count drops — proving the loss accounting works (the real system
+	// avoids this by flow control).
+	cfg := Config{N: 16, Receivers: 2, Scheduler: sched.NewFLPPR(16, 0), EgressCapacity: 1}
+	sw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := traffic.Build(traffic.Config{Kind: traffic.KindHotspot, N: 16, Load: 0.9, HotPort: 0, HotFraction: 0.9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sw.Run(gens, 100, 2000)
+	if m.Dropped == 0 {
+		t.Error("expected drops with capacity-1 egress under hotspot overload")
+	}
+}
+
+func TestBimodalControlPriority(t *testing.T) {
+	// Control cells must see lower latency than data under load.
+	cfg := Config{N: 32, Receivers: 2, Scheduler: sched.NewFLPPR(32, 0)}
+	sw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := traffic.Build(traffic.Config{Kind: traffic.KindBimodal, N: 32, Load: 0.9, ControlShare: 0.1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sw.Run(gens, 1000, 5000)
+	if m.ControlLatency.N() == 0 {
+		t.Fatal("no control cells delivered")
+	}
+	ctl := float64(m.ControlLatency.Mean())
+	all := float64(m.Latency.Mean())
+	if ctl > all*1.1 {
+		t.Errorf("control latency %.0f ps should not exceed overall %.0f ps under strict priority", ctl, all)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, float64) {
+		cfg := Config{N: 16, Receivers: 2, Scheduler: sched.NewFLPPR(16, 0)}
+		_, m := runUniform(t, cfg, 0.7, 300, 2000, 99)
+		return m.Delivered, m.MeanLatencySlots()
+	}
+	d1, l1 := run()
+	d2, l2 := run()
+	if d1 != d2 || l1 != l2 {
+		t.Errorf("same seed diverged: %d/%.4f vs %d/%.4f", d1, l1, d2, l2)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	// Delay must be monotone non-decreasing in load (coarsely).
+	base := Config{N: 16, Receivers: 2}
+	res, err := Sweep(base, func() sched.Scheduler { return sched.NewFLPPR(16, 0) },
+		[]float64{0.2, 0.5, 0.8}, 31, 300, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if !(res[0].MeanSlots <= res[1].MeanSlots && res[1].MeanSlots <= res[2].MeanSlots) {
+		t.Errorf("delay not monotone in load: %.2f %.2f %.2f",
+			res[0].MeanSlots, res[1].MeanSlots, res[2].MeanSlots)
+	}
+	for _, r := range res {
+		if math.Abs(r.Throughput-r.Load) > 0.05 {
+			t.Errorf("below saturation throughput %.3f should track load %.2f", r.Throughput, r.Load)
+		}
+	}
+}
+
+func TestMismatchedGeneratorsPanics(t *testing.T) {
+	sw, _ := New(Config{N: 8, Scheduler: sched.NewFLPPR(8, 0)})
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched generator count should panic")
+		}
+	}()
+	sw.Run(make([]traffic.Generator, 3), 1, 1)
+}

@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Each experiment is
+// a self-contained Run function producing printable series tables and a
+// set of headline findings ("who wins, by what factor, where the
+// crossover falls") that the tests and EXPERIMENTS.md assert against.
+//
+// The same registry backs the cmd/experiments binary and the repo-level
+// benchmarks: benches call Run with Quick=true for reduced windows.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// RunConfig tunes an experiment run.
+type RunConfig struct {
+	// Quick shrinks simulation windows for benchmarks and smoke tests.
+	Quick bool
+	// Seed drives all stochastic inputs; 0 selects the default.
+	Seed uint64
+}
+
+func (c RunConfig) seed() uint64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// warmupMeasure picks simulation windows by mode.
+func (c RunConfig) warmupMeasure(warm, meas uint64) (uint64, uint64) {
+	if c.Quick {
+		return warm / 8, meas / 8
+	}
+	return warm, meas
+}
+
+// Finding is one headline result with the paper's expectation alongside.
+type Finding struct {
+	Name string
+	// Paper is what the publication reports (qualitative or numeric).
+	Paper string
+	// Measured is what this reproduction obtained.
+	Measured string
+	// Match reports whether the shape/claim holds.
+	Match bool
+}
+
+// Result is a completed experiment.
+type Result struct {
+	ID, Title string
+	Tables    []*stats.Table
+	Findings  []Finding
+}
+
+// AddFinding appends a headline check.
+func (r *Result) AddFinding(name, paper, measured string, match bool) {
+	r.Findings = append(r.Findings, Finding{Name: name, Paper: paper, Measured: measured, Match: match})
+}
+
+// AllMatch reports whether every finding reproduced.
+func (r *Result) AllMatch() bool {
+	for _, f := range r.Findings {
+		if !f.Match {
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders the full result.
+func (r *Result) Write(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n\n", r.ID, r.Title)
+	for _, tb := range r.Tables {
+		tb.Write(w)
+		fmt.Fprintln(w)
+	}
+	for _, f := range r.Findings {
+		status := "REPRODUCED"
+		if !f.Match {
+			status = "MISMATCH"
+		}
+		fmt.Fprintf(w, "[%s] %s\n    paper:    %s\n    measured: %s\n", status, f.Name, f.Paper, f.Measured)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment couples an ID to its generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(RunConfig) (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+// canonical fixes the presentation order: paper order first, then the
+// ablations. Unlisted experiments sort after these by ID.
+var canonical = []string{
+	"table1", "fig1", "fig2", "fig4", "fig6", "fig7", "fig10",
+	"stages", "stages-sim", "power", "scaling", "snf", "guard", "tech", "fec", "bvn", "container", "deflect", "control-rtt",
+	"ablation-flppr-k", "ablation-islip-iters", "ablation-receivers", "ablation-credits", "ablation-interleave",
+}
+
+func register(id, title string, run func(RunConfig) (*Result, error)) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+func rank(id string) int {
+	for i, c := range canonical {
+		if c == id {
+			return i
+		}
+	}
+	return len(canonical)
+}
+
+// All lists the experiments in paper order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for id := range registry {
+		out = append(out, registry[id])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := rank(out[i].ID), rank(out[j].ID)
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// IDs lists the experiment IDs in paper order.
+func IDs() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return e, nil
+}

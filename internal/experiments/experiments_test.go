@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 13 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, want := range []string{"table1", "fig1", "fig2", "fig4", "fig6", "fig7", "fig10", "stages", "power", "scaling", "snf", "guard", "fec", "bvn"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	if _, err := ByID("fig7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("bogus"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if len(IDs()) != len(all) {
+		t.Error("IDs() inconsistent with All()")
+	}
+}
+
+// TestAnalyticExperimentsReproduce runs the cheap (analytic or
+// enumeration-based) experiments at full fidelity and requires every
+// finding to reproduce.
+func TestAnalyticExperimentsReproduce(t *testing.T) {
+	for _, id := range []string{"fig1", "fig10", "stages", "power", "scaling", "snf", "guard", "tech", "fec"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(RunConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, f := range res.Findings {
+			if !f.Match {
+				t.Errorf("%s: finding %q did not reproduce: paper %q, measured %q",
+					id, f.Name, f.Paper, f.Measured)
+			}
+		}
+	}
+}
+
+// TestSimulationExperimentsReproduceQuick runs the simulation-backed
+// experiments with reduced windows; findings must still reproduce.
+func TestSimulationExperimentsReproduceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments are slow")
+	}
+	for _, id := range []string{"fig2", "fig4", "fig6", "fig7", "bvn", "stages-sim", "container", "deflect", "control-rtt"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(RunConfig{Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, f := range res.Findings {
+			if !f.Match {
+				t.Errorf("%s: finding %q did not reproduce: paper %q, measured %q",
+					id, f.Name, f.Paper, f.Measured)
+			}
+		}
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	e, err := ByID("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(RunConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In Quick mode the switch shrinks to 16 ports but the checks must
+	// still pass (the requirement checks are scale-independent except
+	// fabric port count, which is supplied by the composition).
+	if !res.AllMatch() {
+		for _, f := range res.Findings {
+			if !f.Match {
+				t.Errorf("table1: %s: %s vs %s", f.Name, f.Paper, f.Measured)
+			}
+		}
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	e, _ := ByID("snf")
+	res, err := e.Run(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"== snf", "REPRODUCED", "packet_bytes", "paper:", "measured:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered result missing %q", want)
+		}
+	}
+}
+
+func TestAblationsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	for _, id := range []string{"ablation-flppr-k", "ablation-islip-iters", "ablation-receivers", "ablation-credits", "ablation-interleave"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(RunConfig{Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Findings) == 0 || len(res.Tables) == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/optics"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+func init() {
+	register("fig10", "Fig. 10: OSNR penalty vs SOA input power for DPSK and NRZ", runFig10)
+}
+
+// runFig10 regenerates the four curves of Fig. 10 from the XGM
+// saturation model: OSNR penalty against SOA input power for NRZ and
+// DPSK at BER targets 1e-6 and 1e-10. Paper: 14 dB input-loading
+// improvement for DPSK at 1 dB penalty, and (separately measured) a
+// 3 dB OSNR margin for DPSK at any BER.
+func runFig10(_ RunConfig) (*Result, error) {
+	res := &Result{ID: "fig10", Title: "OSNR penalty vs SOA input power (Fig. 10)"}
+	m := optics.NewXGMModel()
+
+	tb := stats.NewTable("OSNR penalty (dB) vs SOA input power (dBm)", "pin_dBm", "penalty_dB")
+	series := map[string]*stats.Series{}
+	for _, f := range []optics.Modulation{optics.NRZ, optics.DPSK} {
+		for _, b := range []optics.BERTarget{optics.BER1e6, optics.BER1e10} {
+			name := fmt.Sprintf("%s-BER%s", f, b)
+			series[name] = tb.AddSeries(name)
+		}
+	}
+	for pin := units.DBm(0); pin <= 20; pin += 2 {
+		for _, f := range []optics.Modulation{optics.NRZ, optics.DPSK} {
+			for _, b := range []optics.BERTarget{optics.BER1e6, optics.BER1e10} {
+				name := fmt.Sprintf("%s-BER%s", f, b)
+				series[name].Add(float64(pin), float64(m.Penalty(f, b, pin)))
+			}
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+
+	imp10 := m.DPSKImprovement(optics.BER1e10, 1)
+	imp6 := m.DPSKImprovement(optics.BER1e6, 1)
+	res.AddFinding("DPSK loading improvement at 1 dB penalty",
+		"14 dB improvement in SOA input loading (measured, Fig. 10)",
+		fmt.Sprintf("BER 1e-10: %.1f dB, BER 1e-6: %.1f dB", float64(imp10), float64(imp6)),
+		float64(imp10) > 13 && float64(imp10) < 15)
+	res.AddFinding("curve ordering",
+		"tighter BER target penalizes loading; NRZ always worse than DPSK",
+		fmt.Sprintf("at +8 dBm: NRZ@1e-10 %.2f > NRZ@1e-6 %.2f > DPSK@1e-10 %.3f dB",
+			float64(m.Penalty(optics.NRZ, optics.BER1e10, 8)),
+			float64(m.Penalty(optics.NRZ, optics.BER1e6, 8)),
+			float64(m.Penalty(optics.DPSK, optics.BER1e10, 8))),
+		m.Penalty(optics.NRZ, optics.BER1e10, 8) > m.Penalty(optics.NRZ, optics.BER1e6, 8) &&
+			m.Penalty(optics.NRZ, optics.BER1e6, 8) > m.Penalty(optics.DPSK, optics.BER1e10, 8))
+	res.AddFinding("DPSK OSNR margin",
+		"SOA-switched DPSK link operates with 3 dB lower OSNR at any BER",
+		fmt.Sprintf("required OSNR at 1e-10: NRZ %.1f dB, DPSK %.1f dB",
+			float64(optics.RequiredOSNR(optics.NRZ, 1e-10)),
+			float64(optics.RequiredOSNR(optics.DPSK, 1e-10))),
+		float64(optics.RequiredOSNR(optics.NRZ, 1e-10))-float64(optics.RequiredOSNR(optics.DPSK, 1e-10)) == 3)
+	res.AddFinding("sub-ns guard enablement",
+		"constant-envelope DPSK lets SOAs run deeply saturated (sub-ns guard, SVII)",
+		fmt.Sprintf("DPSK tolerates +%.0f dBm at 1 dB penalty where NRZ allows %.0f dBm",
+			float64(m.LoadingAtPenalty(optics.DPSK, optics.BER1e10, 1)),
+			float64(m.LoadingAtPenalty(optics.NRZ, optics.BER1e10, 1))),
+		true)
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/crossbar"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("fig7", "Fig. 7: OSMOSIS delay versus throughput, single vs dual receiver", runFig7)
+}
+
+// runFig7 regenerates the delay-versus-load curves of Fig. 7 on the
+// 64-port demonstrator configuration: FLPPR with a single receiver per
+// egress, with the dual-receiver broadcast-and-select option, and the
+// ideal output-queued reference. Paper: the dual-receiver delay is
+// near-constant over a large load range and only rises near saturation.
+func runFig7(cfg RunConfig) (*Result, error) {
+	res := &Result{ID: "fig7", Title: "Delay vs throughput (Fig. 7)"}
+	warm, meas := cfg.warmupMeasure(2000, 8000)
+	const n = 64
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}
+	if cfg.Quick {
+		loads = []float64{0.1, 0.5, 0.9, 0.99}
+	}
+
+	tb := stats.NewTable("Mean delay vs offered load, 64 ports, uniform Bernoulli", "load", "delay_cycles")
+	curves := map[string]*stats.Series{
+		"flppr-single-receiver": tb.AddSeries("flppr-single-receiver"),
+		"flppr-dual-receiver":   tb.AddSeries("flppr-dual-receiver"),
+		"ideal-output-queued":   tb.AddSeries("ideal-output-queued"),
+	}
+	for _, load := range loads {
+		runs := []struct {
+			name string
+			cc   crossbar.Config
+		}{
+			{"flppr-single-receiver", crossbar.Config{N: n, Receivers: 1, Scheduler: sched.NewFLPPR(n, 0)}},
+			{"flppr-dual-receiver", crossbar.Config{N: n, Receivers: 2, Scheduler: sched.NewFLPPR(n, 0)}},
+			{"ideal-output-queued", crossbar.Config{N: n, IdealOQ: true}},
+		}
+		for _, r := range runs {
+			rs, err := crossbar.Sweep(r.cc, nil, []float64{load}, cfg.seed(), warm, meas)
+			if err != nil {
+				return nil, err
+			}
+			curves[r.name].Add(load, rs[0].MeanSlots)
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+
+	single := curves["flppr-single-receiver"]
+	dual := curves["flppr-dual-receiver"]
+	oq := curves["ideal-output-queued"]
+
+	res.AddFinding("dual receiver flat region",
+		"delay more or less constant for a large range of loading",
+		fmt.Sprintf("dual delay grows %.2fx from load 0.1 to 0.9 (single: %.2fx)",
+			dual.Interp(0.9)/dual.Interp(0.1), single.Interp(0.9)/single.Interp(0.1)),
+		dual.Interp(0.9)/dual.Interp(0.1) < single.Interp(0.9)/single.Interp(0.1))
+	res.AddFinding("dual beats single at high load",
+		"dual receiver improves delay at medium-to-high loads",
+		fmt.Sprintf("at 0.9 load: dual %.2f vs single %.2f cycles", dual.Interp(0.9), single.Interp(0.9)),
+		dual.Interp(0.9) < single.Interp(0.9))
+	res.AddFinding("dual tracks the OQ ideal",
+		"the dual-receiver curve approaches output-queued behaviour",
+		fmt.Sprintf("at 0.9 load: dual %.2f vs ideal %.2f cycles", dual.Interp(0.9), oq.Interp(0.9)),
+		dual.Interp(0.9) < oq.Interp(0.9)*1.5)
+	res.AddFinding("high sustained throughput",
+		"sustained throughput > 95% (Table 1)",
+		fmt.Sprintf("delay finite at 0.99 load: dual %.1f cycles", dual.Interp(0.99)),
+		dual.Interp(0.99) < 200)
+	return res, nil
+}

@@ -1,0 +1,396 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/fc"
+	"repro/internal/packet"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/units"
+	"repro/internal/voq"
+)
+
+// Config describes a multistage fabric experiment.
+type Config struct {
+	// Hosts is the fabric port count; Radix the switch port count.
+	// Ignored when Network is set.
+	Hosts, Radix int
+	// Network overrides the default two-level fat tree with an explicit
+	// wiring (e.g. a deeper XGFT for the 5- or 9-stage electronic
+	// comparisons of SVI.C).
+	Network Net
+	// Receivers per output (dual receiver = 2).
+	Receivers int
+	// NewScheduler builds one per-switch arbiter instance.
+	NewScheduler func() sched.Scheduler
+	// LinkDelaySlots is the one-way inter-switch cable delay in packet
+	// cycles (machine-room fibers; 51.2 ns cycles and 5 ns/m make a
+	// 50 m cable ~5 slots).
+	LinkDelaySlots int
+	// InputCapacity bounds each inter-switch input buffer in cells;
+	// zero selects the deterministic-RTT sizing fc.BufferFor.
+	InputCapacity int
+	// EgressBuffered selects buffer-placement option 1 (in- and output
+	// buffers per stage) instead of the paper's option 3 (input only).
+	EgressBuffered bool
+	// Format supplies timing for metric scaling; zero value selects the
+	// OSMOSIS demonstrator format.
+	Format packet.Format
+}
+
+// Metrics collects fabric-level measurements.
+type Metrics struct {
+	Offered, Delivered uint64
+	MeasureSlots       uint64
+	// LatencySlots is end-to-end delay in packet cycles (host adapter
+	// arrival to host line-out completion).
+	LatencySlots stats.LatencySample
+	// ControlLatencySlots covers control-class cells.
+	ControlLatencySlots stats.LatencySample
+	// HopHistogram[h] counts cells that crossed h switches.
+	HopHistogram map[int]uint64
+	// OrderViolations must stay zero (Table 1).
+	OrderViolations uint64
+	// Dropped must stay zero: the fabric is lossless by flow control.
+	Dropped uint64
+	// FCBlocked counts grant executions refused by exhausted credits.
+	FCBlocked uint64
+	// MaxVOQDepth is the deepest switch VOQ set seen.
+	MaxVOQDepth int
+	// MaxInterInputDepth is the deepest bounded inter-switch input
+	// buffer seen (must stay <= InputCapacity: lossless proof).
+	MaxInterInputDepth int
+	// CycleTime scales slots to wall time.
+	CycleTime units.Time
+}
+
+// ThroughputPerHost reports delivered cells per host per slot.
+func (m *Metrics) ThroughputPerHost(hosts int) float64 {
+	if m.MeasureSlots == 0 || hosts == 0 {
+		return 0
+	}
+	return float64(m.Delivered) / float64(m.MeasureSlots) / float64(hosts)
+}
+
+// MeanLatency reports the mean end-to-end latency in wall time.
+func (m *Metrics) MeanLatency() units.Time {
+	if m.LatencySlots.N() == 0 {
+		return 0
+	}
+	return units.Time(float64(m.LatencySlots.Mean()) * float64(m.CycleTime))
+}
+
+// delivery is one cell in flight on an inter-switch link.
+type delivery struct {
+	cell *packet.Cell
+	node int // destination node index in Fabric.nodes
+	port int
+}
+
+// creditReturn is an FC credit travelling back upstream.
+type creditReturn struct {
+	node int // upstream node index
+	port int // upstream output port
+}
+
+// Fabric is a runnable multistage fabric instance.
+type Fabric struct {
+	cfg Config
+	net Net
+
+	nodes   []*node
+	nodeIdx map[NodeID]int
+
+	// hostEgress[h] is the egress adapter of host h.
+	hostEgress []*voq.Egress
+
+	// inflight[slot % len] holds link deliveries landing that slot.
+	inflight [][]delivery
+	// creditWire[slot % len] holds credit returns landing that slot.
+	creditWire [][]creditReturn
+
+	alloc *packet.Allocator
+	order *packet.OrderChecker
+
+	slot      uint64
+	measuring bool
+	metrics   Metrics
+}
+
+// New builds a fabric, applying defaults.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.Network == nil {
+		if cfg.Hosts <= 0 {
+			return nil, fmt.Errorf("fabric: host count %d must be positive", cfg.Hosts)
+		}
+		if cfg.Radix == 0 {
+			cfg.Radix = 64
+		}
+		topo, err := NewTopology(cfg.Hosts, cfg.Radix)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Network = topo
+	}
+	cfg.Hosts = cfg.Network.HostCount()
+	cfg.Radix = cfg.Network.SwitchRadix()
+	if cfg.Receivers <= 0 {
+		cfg.Receivers = 2
+	}
+	if cfg.NewScheduler == nil {
+		radix := cfg.Radix
+		cfg.NewScheduler = func() sched.Scheduler { return sched.NewFLPPR(radix, 0) }
+	}
+	if cfg.LinkDelaySlots < 0 {
+		return nil, fmt.Errorf("fabric: negative link delay %d", cfg.LinkDelaySlots)
+	}
+	if cfg.Format.CellBytes == 0 {
+		cfg.Format = packet.OSMOSISFormat()
+	}
+	if cfg.InputCapacity == 0 {
+		// Deterministic FC loop sizing: credits must cover the full
+		// consume-to-return latency (cell flight + pop + credit flight).
+		cfg.InputCapacity = fc.BufferFor(fc.LoopRTT(cfg.LinkDelaySlots, 1), 2)
+	}
+
+	f := &Fabric{
+		cfg:     cfg,
+		net:     cfg.Network,
+		nodeIdx: make(map[NodeID]int),
+		alloc:   packet.NewAllocator(),
+		order:   packet.NewOrderChecker(),
+	}
+	f.metrics.CycleTime = cfg.Format.CycleTime()
+	f.metrics.HopHistogram = make(map[int]uint64)
+
+	creditDelay := cfg.LinkDelaySlots
+	if creditDelay < 1 {
+		creditDelay = 1
+	}
+	for _, id := range f.net.NodeIDs() {
+		n, err := newNode(id, f.net, cfg.NewScheduler, cfg.Receivers, cfg.InputCapacity, cfg.EgressBuffered, creditDelay)
+		if err != nil {
+			return nil, err
+		}
+		f.nodeIdx[id] = len(f.nodes)
+		f.nodes = append(f.nodes, n)
+	}
+
+	f.hostEgress = make([]*voq.Egress, cfg.Hosts)
+	for h := range f.hostEgress {
+		f.hostEgress[h] = voq.NewEgress(cfg.Receivers, 0)
+	}
+
+	ring := cfg.LinkDelaySlots + 2
+	f.inflight = make([][]delivery, ring)
+	f.creditWire = make([][]creditReturn, ring)
+	return f, nil
+}
+
+// Network exposes the fabric's wiring.
+func (f *Fabric) Network() Net { return f.net }
+
+// Topology returns the default two-level structure, or the zero value
+// when the fabric was built on an explicit Network of another shape.
+func (f *Fabric) Topology() Topology {
+	if t, ok := f.net.(Topology); ok {
+		return t
+	}
+	return Topology{}
+}
+
+// Metrics exposes the measurements.
+func (f *Fabric) Metrics() *Metrics { return &f.metrics }
+
+// Slot reports the current cycle.
+func (f *Fabric) Slot() uint64 { return f.slot }
+
+// StartMeasurement begins the measurement window.
+func (f *Fabric) StartMeasurement() { f.measuring = true }
+
+// Inject places a newly arrived cell into its source leaf's ingress
+// adapter (the first-stage input buffer).
+func (f *Fabric) Inject(c *packet.Cell) error {
+	leaf, port := f.net.HostLeaf(c.Src)
+	n := f.nodes[f.nodeIdx[leaf]]
+	c.Injected = units.Time(f.slot) * f.metrics.CycleTime
+	if f.measuring {
+		f.metrics.Offered++
+	}
+	return n.push(c, port)
+}
+
+// Step advances the whole fabric one packet cycle.
+func (f *Fabric) Step() error {
+	ring := len(f.inflight)
+	idx := int(f.slot) % ring
+
+	// 1. Land link deliveries due this slot.
+	for _, d := range f.inflight[idx] {
+		if err := f.nodes[d.node].push(d.cell, d.port); err != nil {
+			return err
+		}
+		if depth := f.nodes[d.node].inputDepth(d.port); depth > f.metrics.MaxInterInputDepth {
+			f.metrics.MaxInterInputDepth = depth
+		}
+	}
+	f.inflight[idx] = f.inflight[idx][:0]
+	// Land credit returns.
+	for _, cr := range f.creditWire[idx] {
+		f.nodes[cr.node].credits[cr.port].Release()
+	}
+	f.creditWire[idx] = f.creditWire[idx][:0]
+
+	// 2. Every switch arbitrates.
+	for ni, n := range f.nodes {
+		launches, freed := n.arbitrate(f.slot)
+		// Freed input-buffer slots return credits upstream.
+		for in, cnt := range freed {
+			if cnt == 0 {
+				continue
+			}
+			pi := n.ports[in]
+			if pi.Kind != UpPort && pi.Kind != DownPort {
+				continue
+			}
+			up := f.nodeIdx[pi.Peer]
+			land := (idx + 1) % len(f.creditWire)
+			for i := 0; i < cnt; i++ {
+				f.creditWire[land] = append(f.creditWire[land], creditReturn{node: up, port: pi.PeerPort})
+			}
+		}
+		// Launch cells onto links or into host egress adapters.
+		for _, l := range launches {
+			pi := n.ports[l.out]
+			switch pi.Kind {
+			case HostPort:
+				f.hostEgress[pi.Host].Receive(l.cell)
+			case UpPort, DownPort:
+				land := (idx + f.cfg.LinkDelaySlots + 1) % len(f.inflight)
+				f.inflight[land] = append(f.inflight[land], delivery{
+					cell: l.cell,
+					node: f.nodeIdx[pi.Peer],
+					port: pi.PeerPort,
+				})
+			default:
+				return fmt.Errorf("fabric: %v launched cell on unused port %d", n.id, l.out)
+			}
+		}
+		_ = ni
+	}
+
+	// 3. Host egress lines drain one cell each.
+	now := units.Time(f.slot) * f.metrics.CycleTime
+	for _, e := range f.hostEgress {
+		c := e.Drain()
+		if c == nil {
+			continue
+		}
+		c.Delivered = now + f.metrics.CycleTime
+		ok := f.order.Deliver(c)
+		if f.measuring {
+			f.metrics.Delivered++
+			slots := float64(c.Delivered-c.Created) / float64(f.metrics.CycleTime)
+			f.metrics.LatencySlots.Add(units.Time(slots))
+			if c.Class == packet.Control {
+				f.metrics.ControlLatencySlots.Add(units.Time(slots))
+			}
+			f.metrics.HopHistogram[c.Hops]++
+			if !ok {
+				f.metrics.OrderViolations++
+			}
+		}
+	}
+
+	// 4. Credit pipelines tick; depth and FC stats.
+	var blocked uint64
+	for _, n := range f.nodes {
+		n.tickCredits()
+		if n.maxVOQDepth > f.metrics.MaxVOQDepth {
+			f.metrics.MaxVOQDepth = n.maxVOQDepth
+		}
+		blocked += n.fcBlocked
+	}
+	f.metrics.FCBlocked = blocked
+
+	f.slot++
+	return nil
+}
+
+// Run drives the fabric with per-host generators.
+func (f *Fabric) Run(gens []traffic.Generator, warmup, measure uint64) (*Metrics, error) {
+	if len(gens) != f.cfg.Hosts {
+		return nil, fmt.Errorf("fabric: %d generators for %d hosts", len(gens), f.cfg.Hosts)
+	}
+	total := warmup + measure
+	for t := uint64(0); t < total; t++ {
+		if t == warmup {
+			f.StartMeasurement()
+			f.metrics.MeasureSlots = measure
+		}
+		now := units.Time(f.slot) * f.metrics.CycleTime
+		for h, g := range gens {
+			a, ok := g.Next(f.slot)
+			if !ok {
+				continue
+			}
+			cls := packet.Data
+			if a.Class == traffic.ClassControl {
+				cls = packet.Control
+			}
+			c := f.alloc.New(h, a.Dst, cls, now)
+			if err := f.Inject(c); err != nil {
+				return nil, err
+			}
+		}
+		if err := f.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return &f.metrics, nil
+}
+
+// Drain runs extra slots with no arrivals until all queues empty or the
+// budget is exhausted; used by lossless-delivery tests.
+func (f *Fabric) Drain(maxSlots uint64) (bool, error) {
+	for i := uint64(0); i < maxSlots; i++ {
+		if f.Idle() {
+			return true, nil
+		}
+		if err := f.Step(); err != nil {
+			return false, err
+		}
+	}
+	return f.Idle(), nil
+}
+
+// Idle reports whether every buffer and link in the fabric is empty.
+func (f *Fabric) Idle() bool {
+	for _, n := range f.nodes {
+		for _, v := range n.voqs {
+			if v.Depth() > 0 {
+				return false
+			}
+		}
+		if n.egress != nil {
+			for _, e := range n.egress {
+				if e.Queued() > 0 {
+					return false
+				}
+			}
+		}
+	}
+	for _, batch := range f.inflight {
+		if len(batch) > 0 {
+			return false
+		}
+	}
+	for _, e := range f.hostEgress {
+		if e.Queued() > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+package fabric
+
+// Net abstracts the wiring of a multistage fabric so the simulation
+// engine can run both the two-level Topology and the generic L-level
+// XGFT. All implementations must provide symmetric wiring (if a port
+// claims a peer, the peer claims it back) and deterministic per-flow
+// routing (order preservation depends on it).
+type Net interface {
+	// SwitchRadix is the switch port count (identical switches per
+	// stage, matching the paper's cost assumption).
+	SwitchRadix() int
+	// HostCount is the number of end ports.
+	HostCount() int
+	// StageCount is the switch traversals on the longest path.
+	StageCount() int
+	// NodeIDs lists every switch, in a fixed deterministic order.
+	NodeIDs() []NodeID
+	// PortMap describes the wiring of one switch's ports.
+	PortMap(NodeID) ([]PortInfo, error)
+	// Route reports the output port at node n for a cell src -> dst.
+	Route(n NodeID, src, dst int) (int, error)
+	// HostLeaf reports the switch and port a host attaches to.
+	HostLeaf(host int) (NodeID, int)
+}
+
+// Topology (2-level) implements Net.
+
+// SwitchRadix implements Net.
+func (t Topology) SwitchRadix() int { return t.Radix }
+
+// HostCount implements Net.
+func (t Topology) HostCount() int { return t.Hosts }
+
+// StageCount implements Net.
+func (t Topology) StageCount() int { return t.Stages() }
+
+// NodeIDs implements Net.
+func (t Topology) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, t.Switches())
+	for l := 0; l < t.Leaves(); l++ {
+		ids = append(ids, NodeID{Level: 0, Index: l})
+	}
+	for s := 0; s < t.Spines(); s++ {
+		ids = append(ids, NodeID{Level: 1, Index: s})
+	}
+	return ids
+}
+
+// HostLeaf implements Net.
+func (t Topology) HostLeaf(host int) (NodeID, int) {
+	leaf, port := t.LeafOf(host)
+	return NodeID{Level: 0, Index: leaf}, port
+}

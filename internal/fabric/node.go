@@ -1,0 +1,193 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/fc"
+	"repro/internal/packet"
+	"repro/internal/sched"
+	"repro/internal/voq"
+)
+
+// node is one switch in the fabric: per-input VOQ sets over the switch's
+// outputs, a central scheduler, per-output credits toward the next
+// stage's input buffer, and (for buffer-placement option 1) per-output
+// egress queues.
+type node struct {
+	id    NodeID
+	net   Net
+	radix int
+	ports []PortInfo
+	sch   sched.Scheduler
+	// receivers per output (dual-receiver crossbar).
+	receivers int
+
+	// voqs[in] queues cells by *output port* of this switch.
+	voqs []*voq.VOQSet
+	// inputOccupancy[in] tracks total buffered cells for bounded
+	// inter-switch input ports (capacity enforced by upstream credits).
+	inputCapacity int
+
+	// credits[out] guards the downstream input buffer of inter-switch
+	// links; nil for host outputs (host egress is paced separately) and
+	// unused ports.
+	credits []*fc.Credits
+
+	// egress[out] is the option-1 output buffer; nil in option 3.
+	egress []*voq.Egress
+
+	// stats
+	fcBlocked   uint64
+	maxVOQDepth int
+}
+
+// newNode builds a switch node.
+func newNode(id NodeID, net Net, mk func() sched.Scheduler, receivers, inputCapacity int, egressBuffered bool, linkRTT int) (*node, error) {
+	ports, err := net.PortMap(id)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{
+		id:            id,
+		net:           net,
+		radix:         net.SwitchRadix(),
+		ports:         ports,
+		sch:           mk(),
+		receivers:     receivers,
+		inputCapacity: inputCapacity,
+	}
+	k := n.radix
+	n.voqs = make([]*voq.VOQSet, k)
+	for i := range n.voqs {
+		n.voqs[i] = voq.NewVOQSet(k)
+	}
+	n.credits = make([]*fc.Credits, k)
+	for out, pi := range ports {
+		if pi.Kind == UpPort || pi.Kind == DownPort {
+			c, err := fc.NewCredits(inputCapacity, linkRTT)
+			if err != nil {
+				return nil, err
+			}
+			n.credits[out] = c
+		}
+	}
+	if egressBuffered {
+		n.egress = make([]*voq.Egress, k)
+		for out := range n.egress {
+			n.egress[out] = voq.NewEgress(receivers, 0)
+		}
+	}
+	return n, nil
+}
+
+// board adapts node state for the scheduler, masking outputs that lack
+// flow-control credit — the §IV.B "scheduler as FC manager" role.
+type nodeBoard struct{ n *node }
+
+func (b nodeBoard) N() int         { return b.n.radix }
+func (b nodeBoard) Receivers() int { return b.n.receivers }
+
+func (b nodeBoard) Demand(in, out int) int {
+	n := b.n
+	if n.ports[out].Kind == Unused {
+		return 0
+	}
+	// Option 3 FC: no grants toward an output whose downstream ingress
+	// buffer is out of credits. (Option 1 buffers locally instead.)
+	if n.egress == nil {
+		if c := n.credits[out]; c != nil && !c.CanSend() {
+			return 0
+		}
+	}
+	return n.voqs[in].Uncommitted(out)
+}
+
+func (b nodeBoard) Commit(in, out int)   { b.n.voqs[in].Commit(out) }
+func (b nodeBoard) Uncommit(in, out int) { b.n.voqs[in].Uncommit(out) }
+
+// push enqueues a cell arriving on input port in; the output port is
+// computed from the routing function.
+func (n *node) push(c *packet.Cell, in int) error {
+	out, err := n.net.Route(n.id, c.Src, c.Dst)
+	if err != nil {
+		return err
+	}
+	n.voqs[in].Push(c, out)
+	return nil
+}
+
+// buffered reports total cells in input VOQs of one port.
+func (n *node) inputDepth(in int) int { return n.voqs[in].Depth() }
+
+// launch describes one cell leaving the switch this slot.
+type launch struct {
+	cell *packet.Cell
+	out  int
+}
+
+// arbitrate runs the scheduler and pops the granted cells, respecting
+// credits; it returns the launches and releases upstream credits for
+// freed input-buffer slots via the returned per-input counts.
+func (n *node) arbitrate(slot uint64) (launches []launch, freed []int) {
+	// Option 1: egress queues transmit first, so a cell entering the
+	// output buffer waits at least one slot — the store-and-forward
+	// cost of the extra buffering stage.
+	if n.egress != nil {
+		for out, e := range n.egress {
+			if e.Queued() == 0 {
+				continue
+			}
+			if c := n.credits[out]; c != nil && !c.Consume() {
+				n.fcBlocked++
+				continue
+			}
+			launches = append(launches, launch{cell: e.Drain(), out: out})
+		}
+	}
+	m := n.sch.Tick(slot, nodeBoard{n})
+	freed = make([]int, n.radix)
+	for in, out := range m.Out {
+		if out < 0 {
+			continue
+		}
+		// Option 3: re-check credit at execution (pipelined grants can
+		// race a credit drain); blocked cells simply stay queued.
+		if n.egress == nil {
+			if c := n.credits[out]; c != nil {
+				if !c.Consume() {
+					n.fcBlocked++
+					n.voqs[in].Uncommit(out)
+					continue
+				}
+			}
+		}
+		c := n.voqs[in].Pop(out)
+		if c == nil {
+			// Scheduler promised a cell that is not there — a bug.
+			panic(fmt.Sprintf("fabric: %v granted empty VOQ in=%d out=%d slot=%d", n.id, in, out, slot))
+		}
+		c.Hops++
+		freed[in]++
+		if n.egress != nil {
+			n.egress[out].Receive(c)
+		} else {
+			launches = append(launches, launch{cell: c, out: out})
+		}
+	}
+	// Depth tracking.
+	for _, v := range n.voqs {
+		if d := v.Depth(); d > n.maxVOQDepth {
+			n.maxVOQDepth = d
+		}
+	}
+	return launches, freed
+}
+
+// tickCredits advances all credit return pipelines one slot.
+func (n *node) tickCredits() {
+	for _, c := range n.credits {
+		if c != nil {
+			c.Tick()
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package fabric simulates multistage OSMOSIS fabrics: folded fat trees
+// (Figs. 2-4) of single-stage bufferless crossbars with electronic input
+// buffers per stage (buffer placement option 3), per-stage independent
+// central schedulers, credit-based lossless flow control with
+// deterministic loop RTTs, and strict per-flow in-order delivery.
+//
+// The simulated topology is the two-level (three-stage) folded fat tree
+// the demonstrator targets for 2048 ports; deeper trees are handled
+// analytically via power.PlanFabric for the §VI.C stage-count study.
+package fabric
+
+import "fmt"
+
+// Topology describes a two-level folded fat tree of radix-k switches.
+//
+//	hosts:   N = k * (k/2)      (2048 for k = 64)
+//	leaves:  k   each with k/2 host ports (down) and k/2 uplinks
+//	spines:  k/2 each with k leaf ports
+//
+// Leaf l uplink u connects spine u port l. Host h sits on leaf h/(k/2),
+// local port h mod (k/2). The degenerate single-switch case (Levels 1)
+// is supported for fabrics of at most k hosts.
+type Topology struct {
+	// Radix is the switch port count k.
+	Radix int
+	// Levels is 1 (single switch) or 2 (three-stage fat tree).
+	Levels int
+	// Hosts is the end-port count.
+	Hosts int
+}
+
+// NewTopology builds the smallest 1- or 2-level topology of radix-k
+// switches covering n hosts.
+func NewTopology(n, radix int) (Topology, error) {
+	if radix < 2 || radix%2 != 0 {
+		return Topology{}, fmt.Errorf("fabric: radix %d must be even and >= 2", radix)
+	}
+	if n <= 0 {
+		return Topology{}, fmt.Errorf("fabric: host count %d must be positive", n)
+	}
+	if n <= radix {
+		return Topology{Radix: radix, Levels: 1, Hosts: n}, nil
+	}
+	if max := radix * radix / 2; n <= max {
+		return Topology{Radix: radix, Levels: 2, Hosts: n}, nil
+	}
+	return Topology{}, fmt.Errorf("fabric: %d hosts exceed the 2-level capacity %d of radix-%d switches (use power.PlanFabric for deeper trees)",
+		n, radix*radix/2, radix)
+}
+
+// Arity reports k/2, the down- (and up-) port count of a leaf.
+func (t Topology) Arity() int { return t.Radix / 2 }
+
+// Stages reports switch traversals on the longest path (1 or 3).
+func (t Topology) Stages() int {
+	if t.Levels == 1 {
+		return 1
+	}
+	return 3
+}
+
+// Leaves reports the leaf-switch count.
+func (t Topology) Leaves() int {
+	if t.Levels == 1 {
+		return 1
+	}
+	a := t.Arity()
+	return (t.Hosts + a - 1) / a
+}
+
+// Spines reports the spine-switch count.
+func (t Topology) Spines() int {
+	if t.Levels == 1 {
+		return 0
+	}
+	return t.Arity()
+}
+
+// Switches reports the total switch count.
+func (t Topology) Switches() int { return t.Leaves() + t.Spines() }
+
+// LeafOf reports the leaf switch and local down-port of a host.
+func (t Topology) LeafOf(host int) (leaf, port int) {
+	if t.Levels == 1 {
+		return 0, host
+	}
+	a := t.Arity()
+	return host / a, host % a
+}
+
+// HostAt inverts LeafOf.
+func (t Topology) HostAt(leaf, port int) int {
+	if t.Levels == 1 {
+		return port
+	}
+	return leaf*t.Arity() + port
+}
+
+// UpPath deterministically selects the spine for a flow so that cells of
+// one (src, dst) pair always take the same path and stay in order.
+func (t Topology) UpPath(src, dst int) int {
+	if t.Levels == 1 {
+		return 0
+	}
+	// A small mixing function spreads flows evenly over the spines.
+	h := uint64(src)*0x9e3779b97f4a7c15 ^ uint64(dst)*0xd1342543de82ef95
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return int(h % uint64(t.Spines()))
+}
+
+// NodeID identifies a switch in the fabric.
+type NodeID struct {
+	// Level 0 = leaf, 1 = spine.
+	Level int
+	// Index within the level.
+	Index int
+}
+
+// String formats the node for diagnostics.
+func (n NodeID) String() string {
+	if n.Level == 0 {
+		return fmt.Sprintf("leaf%d", n.Index)
+	}
+	return fmt.Sprintf("spine%d", n.Index)
+}
+
+// PortKind classifies a switch port.
+type PortKind uint8
+
+// Port kinds.
+const (
+	// HostPort connects an end host (leaf down-ports).
+	HostPort PortKind = iota
+	// UpPort connects a leaf to a spine.
+	UpPort
+	// DownPort connects a spine to a leaf.
+	DownPort
+	// Unused marks ports beyond the configured host count.
+	Unused
+)
+
+// PortInfo describes one switch port's wiring.
+type PortInfo struct {
+	Kind PortKind
+	// Peer is the switch on the far end (UpPort/DownPort only).
+	Peer NodeID
+	// PeerPort is the port index at the peer.
+	PeerPort int
+	// Host is the attached host (HostPort only).
+	Host int
+}
+
+// PortMap computes the wiring of a switch's ports.
+func (t Topology) PortMap(n NodeID) ([]PortInfo, error) {
+	k, a := t.Radix, t.Arity()
+	ports := make([]PortInfo, k)
+	switch {
+	case t.Levels == 1:
+		if n.Level != 0 || n.Index != 0 {
+			return nil, fmt.Errorf("fabric: node %v invalid in single-switch topology", n)
+		}
+		for p := 0; p < k; p++ {
+			if p < t.Hosts {
+				ports[p] = PortInfo{Kind: HostPort, Host: p}
+			} else {
+				ports[p] = PortInfo{Kind: Unused}
+			}
+		}
+	case n.Level == 0:
+		if n.Index < 0 || n.Index >= t.Leaves() {
+			return nil, fmt.Errorf("fabric: leaf %d out of range", n.Index)
+		}
+		for p := 0; p < a; p++ {
+			host := t.HostAt(n.Index, p)
+			if host < t.Hosts {
+				ports[p] = PortInfo{Kind: HostPort, Host: host}
+			} else {
+				ports[p] = PortInfo{Kind: Unused}
+			}
+		}
+		for u := 0; u < a; u++ {
+			ports[a+u] = PortInfo{
+				Kind:     UpPort,
+				Peer:     NodeID{Level: 1, Index: u},
+				PeerPort: n.Index,
+			}
+		}
+	case n.Level == 1:
+		if n.Index < 0 || n.Index >= t.Spines() {
+			return nil, fmt.Errorf("fabric: spine %d out of range", n.Index)
+		}
+		for l := 0; l < k; l++ {
+			if l < t.Leaves() {
+				ports[l] = PortInfo{
+					Kind:     DownPort,
+					Peer:     NodeID{Level: 0, Index: l},
+					PeerPort: a + n.Index,
+				}
+			} else {
+				ports[l] = PortInfo{Kind: Unused}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("fabric: invalid node %v", n)
+	}
+	return ports, nil
+}
+
+// Route reports the output port a cell for dst must take at node n,
+// given the flow's selected spine.
+func (t Topology) Route(n NodeID, src, dst int) (int, error) {
+	if dst < 0 || dst >= t.Hosts {
+		return -1, fmt.Errorf("fabric: destination %d out of range", dst)
+	}
+	if t.Levels == 1 {
+		return dst, nil
+	}
+	a := t.Arity()
+	dstLeaf, dstPort := t.LeafOf(dst)
+	switch n.Level {
+	case 0:
+		if n.Index == dstLeaf {
+			return dstPort, nil
+		}
+		return a + t.UpPath(src, dst), nil
+	case 1:
+		return dstLeaf, nil
+	default:
+		return -1, fmt.Errorf("fabric: invalid node %v", n)
+	}
+}

@@ -1,0 +1,199 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologySizing(t *testing.T) {
+	// The paper's flagship: 2048 ports from 64-port switches in a
+	// two-level (three-stage) fat tree.
+	topo, err := NewTopology(2048, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Levels != 2 || topo.Stages() != 3 {
+		t.Errorf("levels %d stages %d", topo.Levels, topo.Stages())
+	}
+	if topo.Leaves() != 64 || topo.Spines() != 32 {
+		t.Errorf("leaves %d spines %d", topo.Leaves(), topo.Spines())
+	}
+	if topo.Switches() != 96 {
+		t.Errorf("switches %d", topo.Switches())
+	}
+}
+
+func TestTopologySingleSwitch(t *testing.T) {
+	topo, err := NewTopology(48, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Levels != 1 || topo.Stages() != 1 || topo.Switches() != 1 {
+		t.Errorf("%+v", topo)
+	}
+	leaf, port := topo.LeafOf(17)
+	if leaf != 0 || port != 17 {
+		t.Errorf("LeafOf(17) = %d,%d", leaf, port)
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := NewTopology(100, 7); err == nil {
+		t.Error("odd radix accepted")
+	}
+	if _, err := NewTopology(0, 8); err == nil {
+		t.Error("zero hosts accepted")
+	}
+	if _, err := NewTopology(64*33, 64); err == nil {
+		t.Error("over-capacity fabric accepted")
+	}
+}
+
+func TestHostAddressingRoundTripProperty(t *testing.T) {
+	topo, _ := NewTopology(2048, 64)
+	f := func(hRaw uint16) bool {
+		h := int(hRaw) % 2048
+		leaf, port := topo.LeafOf(h)
+		return topo.HostAt(leaf, port) == h && port < topo.Arity() && leaf < topo.Leaves()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortMapWiringIsConsistent(t *testing.T) {
+	// Every inter-switch connection must be symmetric: if leaf l port p
+	// claims spine s port q, then spine s port q must claim leaf l port p.
+	topo, _ := NewTopology(128, 16)
+	for l := 0; l < topo.Leaves(); l++ {
+		id := NodeID{Level: 0, Index: l}
+		ports, err := topo.PortMap(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, pi := range ports {
+			if pi.Kind != UpPort {
+				continue
+			}
+			peerPorts, err := topo.PortMap(pi.Peer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back := peerPorts[pi.PeerPort]
+			if back.Kind != DownPort || back.Peer != id || back.PeerPort != p {
+				t.Fatalf("asymmetric wiring: leaf%d:%d -> %v:%d -> %v:%d",
+					l, p, pi.Peer, pi.PeerPort, back.Peer, back.PeerPort)
+			}
+		}
+	}
+}
+
+func TestPortMapHostsCoverAllHosts(t *testing.T) {
+	topo, _ := NewTopology(100, 16) // partial last leaf
+	seen := make([]bool, 100)
+	for l := 0; l < topo.Leaves(); l++ {
+		ports, err := topo.PortMap(NodeID{Level: 0, Index: l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pi := range ports {
+			if pi.Kind == HostPort {
+				if pi.Host < 0 || pi.Host >= 100 || seen[pi.Host] {
+					t.Fatalf("host %d invalid or duplicated", pi.Host)
+				}
+				seen[pi.Host] = true
+			}
+		}
+	}
+	for h, ok := range seen {
+		if !ok {
+			t.Fatalf("host %d not wired", h)
+		}
+	}
+}
+
+func TestRouteReachesDestinationProperty(t *testing.T) {
+	topo, _ := NewTopology(2048, 64)
+	f := func(sRaw, dRaw uint16) bool {
+		src := int(sRaw) % 2048
+		dst := int(dRaw) % 2048
+		if src == dst {
+			return true
+		}
+		// Walk the route from the source leaf.
+		leaf, _ := topo.LeafOf(src)
+		node := NodeID{Level: 0, Index: leaf}
+		for hop := 0; hop < 4; hop++ {
+			out, err := topo.Route(node, src, dst)
+			if err != nil {
+				return false
+			}
+			ports, err := topo.PortMap(node)
+			if err != nil {
+				return false
+			}
+			pi := ports[out]
+			switch pi.Kind {
+			case HostPort:
+				return pi.Host == dst
+			case UpPort, DownPort:
+				node = pi.Peer
+			default:
+				return false
+			}
+		}
+		return false // did not terminate in 4 hops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteStablePerFlow(t *testing.T) {
+	// Order preservation requires a deterministic path per (src,dst).
+	topo, _ := NewTopology(2048, 64)
+	for trial := 0; trial < 100; trial++ {
+		if topo.UpPath(17, 900) != topo.UpPath(17, 900) {
+			t.Fatal("UpPath not deterministic")
+		}
+	}
+}
+
+func TestUpPathSpreadsFlows(t *testing.T) {
+	topo, _ := NewTopology(2048, 64)
+	counts := make([]int, topo.Spines())
+	for src := 0; src < 256; src++ {
+		for dst := 1024; dst < 1064; dst++ {
+			counts[topo.UpPath(src, dst)]++
+		}
+	}
+	total := 256 * 40
+	want := float64(total) / float64(len(counts))
+	for s, c := range counts {
+		if float64(c) < want*0.7 || float64(c) > want*1.3 {
+			t.Errorf("spine %d carries %d flows, want ~%.0f", s, c, want)
+		}
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	topo, _ := NewTopology(2048, 64)
+	if _, err := topo.Route(NodeID{Level: 0, Index: 0}, 0, 4000); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if _, err := topo.Route(NodeID{Level: 7, Index: 0}, 0, 5); err == nil {
+		t.Error("bogus node accepted")
+	}
+	if _, err := topo.PortMap(NodeID{Level: 1, Index: 99}); err == nil {
+		t.Error("bogus spine accepted")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if (NodeID{Level: 0, Index: 3}).String() != "leaf3" {
+		t.Error("leaf name")
+	}
+	if (NodeID{Level: 1, Index: 7}).String() != "spine7" {
+		t.Error("spine name")
+	}
+}

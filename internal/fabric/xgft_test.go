@@ -1,0 +1,272 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+	"repro/internal/traffic"
+)
+
+func TestXGFTValidation(t *testing.T) {
+	if _, err := NewXGFT(10, 7, 0); err == nil {
+		t.Error("odd radix accepted")
+	}
+	if _, err := NewXGFT(0, 8, 0); err == nil {
+		t.Error("zero hosts accepted")
+	}
+	if _, err := NewXGFT(1000, 8, 2); err == nil {
+		t.Error("over-capacity explicit levels accepted")
+	}
+	if _, err := NewXGFT(1<<40, 4, 0); err == nil {
+		t.Error("absurd host count accepted")
+	}
+}
+
+func TestXGFTAutoLevels(t *testing.T) {
+	cases := []struct {
+		hosts, radix, wantLevels, wantStages int
+	}{
+		{48, 64, 1, 1},
+		{2048, 64, 2, 3}, // OSMOSIS
+		{2048, 32, 3, 5}, // high-end electronic
+		{2048, 8, 5, 9},  // commodity
+		{2048, 12, 4, 7}, // 12-port commodity
+	}
+	for _, c := range cases {
+		x, err := NewXGFT(c.hosts, c.radix, 0)
+		if err != nil {
+			t.Fatalf("hosts %d radix %d: %v", c.hosts, c.radix, err)
+		}
+		if x.Levels != c.wantLevels || x.StageCount() != c.wantStages {
+			t.Errorf("hosts %d radix %d: levels %d stages %d, want %d/%d",
+				c.hosts, c.radix, x.Levels, x.StageCount(), c.wantLevels, c.wantStages)
+		}
+	}
+}
+
+func TestXGFTMatchesPlanFabricStageCounts(t *testing.T) {
+	// The simulated wiring and the analytic §VI.C planner must agree.
+	for _, radix := range []int{8, 12, 16, 32, 64} {
+		x, err := NewXGFT(2048, radix, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// power.PlanFabric is not imported to avoid a cycle; its formula
+		// is capacity = k*(k/2)^(L-1), identical to capacityXGFT.
+		want := 2*x.Levels - 1
+		if x.StageCount() != want {
+			t.Errorf("radix %d: stages %d", radix, x.StageCount())
+		}
+	}
+}
+
+// TestXGFTWiringSymmetric checks every inter-switch link in both
+// directions for several depths.
+func TestXGFTWiringSymmetric(t *testing.T) {
+	for _, c := range []struct{ hosts, radix, levels int }{
+		{128, 16, 2},
+		{512, 16, 3},
+		{256, 8, 4},
+		{512, 8, 5},
+	} {
+		x, err := NewXGFT(c.hosts, c.radix, c.levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range x.NodeIDs() {
+			ports, err := x.PortMap(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p, pi := range ports {
+				if pi.Kind != UpPort && pi.Kind != DownPort {
+					continue
+				}
+				peerPorts, err := x.PortMap(pi.Peer)
+				if err != nil {
+					t.Fatalf("%v port %d -> invalid peer %v: %v", id, p, pi.Peer, err)
+				}
+				back := peerPorts[pi.PeerPort]
+				if back.Peer != id || back.PeerPort != p {
+					t.Fatalf("%d-level: asymmetric wiring %v:%d -> %v:%d -> %v:%d",
+						c.levels, id, p, pi.Peer, pi.PeerPort, back.Peer, back.PeerPort)
+				}
+				if (pi.Kind == UpPort) == (back.Kind == UpPort) {
+					t.Fatalf("link direction kinds inconsistent at %v:%d", id, p)
+				}
+			}
+		}
+	}
+}
+
+func TestXGFTHostsCovered(t *testing.T) {
+	x, err := NewXGFT(300, 8, 0) // partial population, 5 levels? cap(4)=... auto
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 300)
+	for _, id := range x.NodeIDs() {
+		if id.Level != 0 {
+			continue
+		}
+		ports, err := x.PortMap(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, pi := range ports {
+			if pi.Kind != HostPort {
+				continue
+			}
+			if pi.Host < 0 || pi.Host >= 300 || seen[pi.Host] {
+				t.Fatalf("host %d invalid or duplicated", pi.Host)
+			}
+			seen[pi.Host] = true
+			leaf, port := x.HostLeaf(pi.Host)
+			if leaf != id || port != p {
+				t.Fatalf("HostLeaf(%d) = %v:%d, wired at %v:%d", pi.Host, leaf, port, id, p)
+			}
+		}
+	}
+	for h, ok := range seen {
+		if !ok {
+			t.Fatalf("host %d not wired", h)
+		}
+	}
+}
+
+// TestXGFTRouteReachesDestination walks routes hop by hop through the
+// wiring for deep trees and checks termination at the right host within
+// the stage bound.
+func TestXGFTRouteReachesDestination(t *testing.T) {
+	for _, c := range []struct{ hosts, radix, levels int }{
+		{512, 16, 3},
+		{512, 8, 5},
+	} {
+		x, err := NewXGFT(c.hosts, c.radix, c.levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(sRaw, dRaw uint16) bool {
+			src := int(sRaw) % c.hosts
+			dst := int(dRaw) % c.hosts
+			if src == dst {
+				return true
+			}
+			node, _ := x.HostLeaf(src)
+			for hop := 0; hop < x.StageCount(); hop++ {
+				out, err := x.Route(node, src, dst)
+				if err != nil {
+					return false
+				}
+				ports, err := x.PortMap(node)
+				if err != nil {
+					return false
+				}
+				pi := ports[out]
+				switch pi.Kind {
+				case HostPort:
+					return pi.Host == dst
+				case UpPort, DownPort:
+					node = pi.Peer
+				default:
+					return false
+				}
+			}
+			return false
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("%d-level: %v", c.levels, err)
+		}
+	}
+}
+
+// TestXGFTFiveStageFabricRuns simulates a full 5-stage (3-level) fabric
+// — the §VI.C high-end-electronic shape — end to end: lossless, ordered,
+// with 1/3/5-hop path populations.
+func TestXGFTFiveStageFabricRuns(t *testing.T) {
+	x, err := NewXGFT(128, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(Config{
+		Network:        x,
+		Receivers:      2,
+		NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
+		LinkDelaySlots: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := traffic.Build(traffic.Config{Kind: traffic.KindUniform, N: 128, Load: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Run(gens, 0, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OrderViolations != 0 || m.Dropped != 0 {
+		t.Errorf("5-stage: violations=%d drops=%d", m.OrderViolations, m.Dropped)
+	}
+	drained, err := f.Drain(200000)
+	if err != nil || !drained {
+		t.Fatalf("5-stage fabric failed to drain: %v", err)
+	}
+	if m.Delivered != m.Offered {
+		t.Errorf("offered %d delivered %d", m.Offered, m.Delivered)
+	}
+	for h := range m.HopHistogram {
+		if h != 1 && h != 3 && h != 5 {
+			t.Errorf("invalid hop count %d in a 3-level fat tree", h)
+		}
+	}
+	if m.HopHistogram[5] == 0 {
+		t.Error("no 5-hop paths exercised")
+	}
+}
+
+// TestXGFTDeepFabricLatencyOrdering verifies the §VI.C consequence the
+// paper draws: more stages = more latency, at matched load and cables.
+func TestXGFTDeepFabricLatencyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	latency := map[int]float64{}
+	for _, levels := range []int{2, 3} {
+		x, err := NewXGFT(128, 8, levels)
+		if err != nil {
+			// 128 hosts on radix-8 need >= 3 levels; skip infeasible.
+			if levels == 2 {
+				x, err = NewXGFT(32, 8, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				t.Fatal(err)
+			}
+		}
+		f, err := New(Config{
+			Network:        x,
+			Receivers:      2,
+			NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
+			LinkDelaySlots: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens, err := traffic.Build(traffic.Config{Kind: traffic.KindUniform, N: x.Hosts, Load: 0.4, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := f.Run(gens, 500, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		latency[levels] = float64(m.LatencySlots.Mean())
+	}
+	if latency[3] <= latency[2] {
+		t.Errorf("5-stage fabric (%.1f slots) should exceed 3-stage (%.1f slots)",
+			latency[3], latency[2])
+	}
+}

@@ -1,0 +1,110 @@
+// Package fc implements the fabric's lossless flow control (§IV.B):
+// credit-based local and remote loops with deterministic round-trip
+// times, realized the way the paper describes — the central scheduler of
+// each stage acts as flow-control manager, masking transmission grants
+// for downstream ingress buffers that are out of space, with FC events
+// relayed on existing control and data channels rather than a dedicated
+// out-of-band network.
+//
+// Because every loop's RTT is deterministic (fixed cable lengths, fixed
+// packet cycle), the buffer size that sustains full rate is exactly
+// computable; BufferFor gives the paper's "straightforward buffer
+// sizing".
+package fc
+
+import "fmt"
+
+// Credits tracks the upstream view of one downstream buffer: the number
+// of cells that may still be sent. Returns travel back with a fixed
+// delay measured in packet cycles; the pipeline models cells "in flight
+// back" so the view is exactly what deterministic hardware would hold.
+type Credits struct {
+	avail int
+	// returning[i] credits arrive i+1 Tick calls from now.
+	returning []int
+	pos       int
+	// Shortfalls counts cycles in which a send was refused.
+	Shortfalls uint64
+}
+
+// NewCredits builds a counter with initial credits and a return delay
+// of rttSlots cycles (the remote FC loop RTT).
+func NewCredits(initial, rttSlots int) (*Credits, error) {
+	if initial < 0 {
+		return nil, fmt.Errorf("fc: negative initial credits %d", initial)
+	}
+	if rttSlots < 1 {
+		rttSlots = 1
+	}
+	return &Credits{avail: initial, returning: make([]int, rttSlots)}, nil
+}
+
+// Available reports the usable credits right now.
+func (c *Credits) Available() int { return c.avail }
+
+// CanSend reports whether one cell may be launched.
+func (c *Credits) CanSend() bool { return c.avail > 0 }
+
+// Consume takes one credit; it returns false (and counts a shortfall)
+// when none is available.
+func (c *Credits) Consume() bool {
+	if c.avail <= 0 {
+		c.Shortfalls++
+		return false
+	}
+	c.avail--
+	return true
+}
+
+// Release queues one credit for return (the downstream buffer freed a
+// slot); it becomes usable after the loop RTT.
+func (c *Credits) Release() {
+	c.returning[(c.pos+len(c.returning)-1)%len(c.returning)]++
+}
+
+// Tick advances one packet cycle, landing any credits whose return
+// delay elapsed.
+func (c *Credits) Tick() {
+	c.avail += c.returning[c.pos]
+	c.returning[c.pos] = 0
+	c.pos = (c.pos + 1) % len(c.returning)
+}
+
+// InFlight reports credits still travelling back.
+func (c *Credits) InFlight() int {
+	total := 0
+	for _, v := range c.returning {
+		total += v
+	}
+	return total
+}
+
+// BufferFor reports the ingress-buffer capacity (in cells) needed to
+// sustain 100% rate over a flow-control loop with the given RTT: one
+// cell per cycle can be in flight for a full round trip before the
+// first credit returns, so capacity = rttSlots (+ margin for scheduler
+// processing cycles).
+func BufferFor(rttSlots, marginSlots int) int {
+	if rttSlots < 1 {
+		rttSlots = 1
+	}
+	if marginSlots < 0 {
+		marginSlots = 0
+	}
+	return rttSlots + marginSlots
+}
+
+// LoopRTT reports the remote FC loop round-trip in packet cycles for a
+// cable of linkDelaySlots one-way delay and schedLatencySlots grant
+// pipeline: cell flight down + occupancy report relayed through the
+// downstream scheduler and carried back on the reverse channel + grant
+// issue.
+func LoopRTT(linkDelaySlots, schedLatencySlots int) int {
+	if linkDelaySlots < 0 {
+		linkDelaySlots = 0
+	}
+	if schedLatencySlots < 0 {
+		schedLatencySlots = 0
+	}
+	return 2*linkDelaySlots + schedLatencySlots + 1
+}

@@ -1,0 +1,162 @@
+package fc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCreditsBasics(t *testing.T) {
+	c, err := NewCredits(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Available() != 3 || !c.CanSend() {
+		t.Errorf("initial credits %d", c.Available())
+	}
+	for i := 0; i < 3; i++ {
+		if !c.Consume() {
+			t.Fatalf("consume %d refused", i)
+		}
+	}
+	if c.Consume() {
+		t.Error("consume beyond credits succeeded")
+	}
+	if c.Shortfalls != 1 {
+		t.Errorf("shortfalls %d", c.Shortfalls)
+	}
+}
+
+func TestCreditsReturnDelay(t *testing.T) {
+	c, err := NewCredits(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Consume()
+	c.Release()
+	if c.InFlight() != 1 {
+		t.Errorf("in flight %d", c.InFlight())
+	}
+	// The credit must land exactly after 3 ticks.
+	for i := 0; i < 2; i++ {
+		c.Tick()
+		if c.Available() != 0 {
+			t.Fatalf("credit landed early at tick %d", i+1)
+		}
+	}
+	c.Tick()
+	if c.Available() != 1 {
+		t.Errorf("credit not landed after RTT: %d", c.Available())
+	}
+}
+
+func TestCreditsSustainFullRateWhenSizedByRTT(t *testing.T) {
+	// The paper's claim: deterministic RTT -> exact buffer sizing. With
+	// initial credits = RTT, a sender can launch one cell every tick
+	// forever (downstream freeing each cell on arrival).
+	const rtt = 5
+	c, err := NewCredits(BufferFor(rtt, 0), rtt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	for tick := 0; tick < 1000; tick++ {
+		if c.Consume() {
+			sent++
+			c.Release() // downstream consumes and frees immediately
+		}
+		c.Tick()
+	}
+	if sent < 1000 {
+		t.Errorf("sent %d of 1000 with RTT-sized credits; full rate requires 1000", sent)
+	}
+}
+
+func TestCreditsUndersizedStarve(t *testing.T) {
+	// With fewer credits than the RTT the link cannot sustain full rate.
+	const rtt = 6
+	c, _ := NewCredits(rtt/2, rtt)
+	sent := 0
+	for tick := 0; tick < 1000; tick++ {
+		if c.Consume() {
+			sent++
+			c.Release()
+		}
+		c.Tick()
+	}
+	if sent > 600 {
+		t.Errorf("undersized credits sustained %d/1000; expected starvation", sent)
+	}
+}
+
+func TestCreditsConservationProperty(t *testing.T) {
+	// available + inFlight is invariant under Release/Tick and only
+	// Consume decreases it.
+	f := func(ops []uint8) bool {
+		c, err := NewCredits(4, 3)
+		if err != nil {
+			return false
+		}
+		outstanding := 0 // consumed but not yet released
+		for _, op := range ops {
+			total := c.Available() + c.InFlight()
+			switch op % 3 {
+			case 0:
+				if c.Consume() {
+					outstanding++
+					if c.Available()+c.InFlight() != total-1 {
+						return false
+					}
+				}
+			case 1:
+				if outstanding > 0 {
+					c.Release()
+					outstanding--
+					if c.Available()+c.InFlight() != total+1 {
+						return false
+					}
+				}
+			case 2:
+				c.Tick()
+				if c.Available()+c.InFlight() != total {
+					return false
+				}
+			}
+			if c.Available()+c.InFlight()+outstanding != 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewCreditsValidation(t *testing.T) {
+	if _, err := NewCredits(-1, 1); err == nil {
+		t.Error("negative credits accepted")
+	}
+	c, err := NewCredits(0, 0) // rtt clamped to 1
+	if err != nil || c == nil {
+		t.Errorf("rtt 0 should clamp, got %v", err)
+	}
+}
+
+func TestBufferFor(t *testing.T) {
+	if got := BufferFor(10, 2); got != 12 {
+		t.Errorf("BufferFor(10,2) = %d", got)
+	}
+	if got := BufferFor(0, -5); got != 1 {
+		t.Errorf("degenerate BufferFor = %d", got)
+	}
+}
+
+func TestLoopRTT(t *testing.T) {
+	// 5-slot cable, 1-slot scheduler: down 5 + back 5 + sched 1 + 1.
+	if got := LoopRTT(5, 1); got != 12 {
+		t.Errorf("LoopRTT(5,1) = %d", got)
+	}
+	if got := LoopRTT(-1, -1); got != 1 {
+		t.Errorf("degenerate LoopRTT = %d", got)
+	}
+}

@@ -1,0 +1,94 @@
+package fec
+
+import "math"
+
+// Error-budget arithmetic for the paper's two-tier reliability scheme
+// (§IV.C): optics deliver raw BER between 1e-10 and 1e-12; the FEC
+// brings the user BER below 1e-17; hop-by-hop retransmission of blocks
+// with *detected* (uncorrectable) errors brings the residual undetected
+// rate below 1e-21.
+
+// SymbolErrorRate converts a raw bit-error rate to the probability that
+// an 8-bit symbol is corrupted, assuming independent bit errors.
+func SymbolErrorRate(rawBER float64) float64 {
+	return 1 - math.Pow(1-rawBER, 8)
+}
+
+// binom returns C(n, k) as a float64 (n small: block sizes).
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// BlockFailureProb reports the probability that a coded block suffers
+// two or more symbol errors (beyond the code's correction power).
+func BlockFailureProb(rawBER float64) float64 {
+	ps := SymbolErrorRate(rawBER)
+	// P(>=2 errors) = 1 - P(0) - P(1); for tiny ps use the dominant
+	// C(n,2) ps^2 term to dodge cancellation.
+	n := BlockSymbols
+	if ps < 1e-4 {
+		return binom(n, 2) * ps * ps
+	}
+	p0 := math.Pow(1-ps, float64(n))
+	p1 := float64(n) * ps * math.Pow(1-ps, float64(n-1))
+	return 1 - p0 - p1
+}
+
+// UserBER reports the post-FEC user bit-error rate: failed blocks leak
+// roughly half their data bits wrong in the worst accounting; we charge
+// every failed block as if all its erroneous symbols hit data, i.e.
+// userBER ≈ P(block fails) × (expected wrong bits | failure) / DataBits.
+// With the dominant two-symbol failure pattern, two symbols ≈ up to 16
+// wrong bits out of 256.
+func UserBER(rawBER float64) float64 {
+	pf := BlockFailureProb(rawBER)
+	return pf * 16.0 / float64(DataBits)
+}
+
+// DetectedBlockRate reports the rate of blocks flagged uncorrectable,
+// which the link layer retransmits. For the dominant two-error pattern
+// almost all failures are detected (the miscorrection fraction is the
+// chance the composite syndrome mimics a valid single error, ≈ n/255²
+// per pattern); we expose both.
+func DetectedBlockRate(rawBER float64) float64 {
+	return BlockFailureProb(rawBER) * (1 - MiscorrectionFraction())
+}
+
+// MiscorrectionFraction estimates the fraction of ≥2-symbol error
+// patterns whose syndrome aliases a correctable single error. The
+// syndrome pair (s0, s1) of a random uncorrectable pattern is close to
+// uniform over the 255² nonzero pairs; an alias needs an in-range
+// decoded position (34/255) and — under the weight-restricted policy —
+// a weight-one magnitude (8/255). Double-bit errors never alias at all
+// (see DoubleBitStats); this bounds the higher-order patterns.
+func MiscorrectionFraction() float64 {
+	return float64(BlockSymbols) * 8.0 / (255.0 * 255.0)
+}
+
+// ResidualBER reports the undetected user BER after FEC correction and
+// hop-by-hop retransmission: only miscorrected blocks survive, each
+// contributing wrong bits as in UserBER.
+func ResidualBER(rawBER float64) float64 {
+	pf := BlockFailureProb(rawBER)
+	return pf * MiscorrectionFraction() * 16.0 / float64(DataBits)
+}
+
+// RetransmissionOverhead reports the expected fraction of link capacity
+// spent re-sending blocks with detected errors.
+func RetransmissionOverhead(rawBER float64) float64 {
+	d := DetectedBlockRate(rawBER)
+	if d >= 1 {
+		return math.Inf(1)
+	}
+	return d / (1 - d)
+}

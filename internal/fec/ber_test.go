@@ -1,0 +1,120 @@
+package fec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSymbolErrorRate(t *testing.T) {
+	// Small-p regime: ps ~ 8p.
+	if got := SymbolErrorRate(1e-10); math.Abs(got-8e-10)/8e-10 > 1e-6 {
+		t.Errorf("ps(1e-10) = %v", got)
+	}
+	if got := SymbolErrorRate(0); got != 0 {
+		t.Errorf("ps(0) = %v", got)
+	}
+	if got := SymbolErrorRate(1); got != 1 {
+		t.Errorf("ps(1) = %v", got)
+	}
+}
+
+// TestPaperErrorBudget reproduces the §IV.C two-tier budget: raw BER in
+// 1e-10..1e-12 -> FEC user BER better than ~1e-17 -> with retransmission
+// residual (undetected) BER better than ~1e-21.
+func TestPaperErrorBudget(t *testing.T) {
+	for _, raw := range []float64{1e-10, 1e-11, 1e-12} {
+		user := UserBER(raw)
+		if user > 1e-16 {
+			t.Errorf("raw %.0e: user BER %.2e, paper wants better than ~1e-17", raw, user)
+		}
+		resid := ResidualBER(raw)
+		if resid > 1e-19 {
+			t.Errorf("raw %.0e: residual BER %.2e, paper wants better than ~1e-21", raw, resid)
+		}
+		if resid >= user {
+			t.Errorf("raw %.0e: retransmission must improve on FEC alone (%.2e >= %.2e)", raw, resid, user)
+		}
+	}
+	// And the improvement chain is strictly ordered.
+	if !(ResidualBER(1e-10) < UserBER(1e-10) && UserBER(1e-10) < 1e-10) {
+		t.Error("error budget chain not strictly improving")
+	}
+}
+
+func TestBlockFailureMonotone(t *testing.T) {
+	prev := 0.0
+	for _, raw := range []float64{1e-12, 1e-10, 1e-8, 1e-6, 1e-4} {
+		p := BlockFailureProb(raw)
+		if p < prev {
+			t.Errorf("block failure prob not monotone at %v", raw)
+		}
+		if p < 0 || p > 1 {
+			t.Errorf("probability out of range: %v", p)
+		}
+		prev = p
+	}
+}
+
+func TestBlockFailureCrossRegime(t *testing.T) {
+	// The exact and small-p formulas must agree near the switchover.
+	ps := 0.9e-4 // just below the 1e-4 threshold on ps... convert back
+	raw := 1 - math.Pow(1-ps, 1.0/8)
+	approx := BlockFailureProb(raw)
+	n := float64(BlockSymbols)
+	exact := 1 - math.Pow(1-ps, n) - n*ps*math.Pow(1-ps, n-1)
+	if math.Abs(approx-exact)/exact > 0.01 {
+		t.Errorf("regime mismatch: approx %v exact %v", approx, exact)
+	}
+}
+
+func TestRetransmissionOverheadTiny(t *testing.T) {
+	// At real optical BERs the retransmission overhead is negligible.
+	if got := RetransmissionOverhead(1e-10); got > 1e-12 {
+		t.Errorf("retransmission overhead %v at raw 1e-10", got)
+	}
+}
+
+func TestMiscorrectionFractionBounds(t *testing.T) {
+	f := MiscorrectionFraction()
+	if f <= 0 || f >= 0.01 {
+		t.Errorf("miscorrection fraction %v out of expected (0, 0.01)", f)
+	}
+}
+
+// TestMonteCarloBlockFailure validates the analytic block-failure
+// probability against direct simulation at an elevated BER.
+func TestMonteCarloBlockFailure(t *testing.T) {
+	const raw = 2e-3
+	want := BlockFailureProb(raw)
+	rng := sim.NewRNG(7)
+	data := make([]byte, DataSymbols)
+	fails := 0
+	const trials = 30000
+	for trial := 0; trial < trials; trial++ {
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		block, err := Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bit := 0; bit < BlockBits; bit++ {
+			if rng.Bernoulli(raw) {
+				block[bit/8] ^= 1 << (bit % 8)
+			}
+		}
+		_, status, err := Decode(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status == Detected {
+			fails++
+		}
+	}
+	got := float64(fails) / trials
+	if math.Abs(got-want)/want > 0.2 {
+		t.Errorf("Monte-Carlo block failure %v vs analytic %v", got, want)
+	}
+}

@@ -1,0 +1,71 @@
+package fec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary 34-byte blocks to the decoder: it must
+// never panic, never report OK for a block whose syndrome is nonzero,
+// and always return exactly 32 bytes when it returns data.
+func FuzzDecode(f *testing.F) {
+	seed := make([]byte, BlockSymbols)
+	f.Add(seed)
+	enc, _ := Encode(make([]byte, DataSymbols))
+	f.Add(enc)
+	f.Fuzz(func(t *testing.T, block []byte) {
+		if len(block) != BlockSymbols {
+			// Wrong sizes must error, not panic.
+			if _, _, err := Decode(append([]byte(nil), block...)); err == nil {
+				t.Fatalf("decode accepted %d bytes", len(block))
+			}
+			return
+		}
+		cp := append([]byte(nil), block...)
+		data, status, err := Decode(cp)
+		if err != nil {
+			t.Fatalf("sized block errored: %v", err)
+		}
+		switch status {
+		case OK, Corrected:
+			if len(data) != DataSymbols {
+				t.Fatalf("returned %d data bytes", len(data))
+			}
+			// Decoded result must re-encode to a valid codeword.
+			re, err := Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s0, s1, err := Syndrome(re)
+			if err != nil || s0 != 0 || s1 != 0 {
+				t.Fatalf("re-encoded output not a codeword: s0=%d s1=%d", s0, s1)
+			}
+		case Detected:
+			// Nothing further to assert.
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip: Decode(Encode(d)) == d for arbitrary data.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(make([]byte, DataSymbols))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) != DataSymbols {
+			if _, err := Encode(data); err == nil {
+				t.Fatalf("encode accepted %d bytes", len(data))
+			}
+			return
+		}
+		block, err := Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, status, err := Decode(block)
+		if err != nil || status != OK {
+			t.Fatalf("clean decode: %v %v", status, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("round trip corrupted data")
+		}
+	})
+}

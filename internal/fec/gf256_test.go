@@ -1,0 +1,144 @@
+package fec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMulMatchesReferenceProperty(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == mulNoTable(a, b) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulExhaustiveAgainstReference(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if Mul(byte(a), byte(b)) != mulNoTable(byte(a), byte(b)) {
+				t.Fatalf("Mul(%d,%d) mismatch", a, b)
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	// Identity and zero.
+	for a := 0; a < 256; a++ {
+		if Mul(byte(a), 1) != byte(a) {
+			t.Fatalf("a*1 != a for %d", a)
+		}
+		if Mul(byte(a), 0) != 0 {
+			t.Fatalf("a*0 != 0 for %d", a)
+		}
+		if Add(byte(a), byte(a)) != 0 {
+			t.Fatalf("a+a != 0 for %d (characteristic 2)", a)
+		}
+	}
+}
+
+func TestCommutativityAssociativityProperty(t *testing.T) {
+	comm := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	assoc := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+	distr := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(distr, nil); err != nil {
+		t.Errorf("distributivity: %v", err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Mul(byte(a), Inv(byte(a))) != 1 {
+			t.Fatalf("a * a^-1 != 1 for %d", a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Inv(0) should panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDiv(t *testing.T) {
+	divmul := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(divmul, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Div by zero should panic")
+		}
+	}()
+	Div(5, 0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Exp(Log(byte(a))) != byte(a) {
+			t.Fatalf("exp(log(%d)) != %d", a, a)
+		}
+	}
+	// alpha generates the full multiplicative group (primitive element).
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != 255 {
+		t.Errorf("alpha generated only %d distinct elements, want 255", len(seen))
+	}
+}
+
+func TestLogZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Log(0) should panic")
+		}
+	}()
+	Log(0)
+}
+
+func TestFieldPolynomialIsPaper(t *testing.T) {
+	// p(x) = x^8+x^4+x^3+x^2+1 -> 0x11D. alpha^8 must reduce to
+	// x^4+x^3+x^2+1 = 0x1D.
+	if fieldPoly != 0x11D {
+		t.Fatalf("field polynomial 0x%X", fieldPoly)
+	}
+	if Exp(8) != 0x1D {
+		t.Errorf("alpha^8 = 0x%X, want 0x1D", Exp(8))
+	}
+}
+
+func TestMulPoly(t *testing.T) {
+	// (x + 1)(x + 1) = x^2 + 2x + 1 = x^2 + 1 over GF(2^8).
+	got := MulPoly([]byte{1, 1}, []byte{1, 1})
+	want := []byte{1, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("coeff %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+	if MulPoly(nil, []byte{1}) != nil {
+		t.Error("empty operand should give nil")
+	}
+}

@@ -1,0 +1,62 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/fec"
+	"repro/internal/packet"
+)
+
+// FuzzCodecDecode feeds arbitrary wire bytes to the frame codec: no
+// panics, and aligned frames always produce a payload of the right size
+// regardless of corruption.
+func FuzzCodecDecode(f *testing.F) {
+	cd := Codec{Interleave: 4}
+	clean, _ := cd.Encode(make([]byte, 4*fec.DataSymbols))
+	f.Add(clean)
+	f.Add(make([]byte, fec.BlockSymbols))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		res, err := cd.Decode(append([]byte(nil), wire...))
+		if len(wire)%fec.BlockSymbols != 0 {
+			if err == nil {
+				t.Fatalf("unaligned wire of %d bytes accepted", len(wire))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("aligned wire errored: %v", err)
+		}
+		wantBlocks := len(wire) / fec.BlockSymbols
+		if len(res.Payload) != wantBlocks*fec.DataSymbols {
+			t.Fatalf("payload %d bytes for %d blocks", len(res.Payload), wantBlocks)
+		}
+		if res.Corrected+res.Detected > wantBlocks {
+			t.Fatalf("accounting: corrected %d + detected %d > %d blocks",
+				res.Corrected, res.Detected, wantBlocks)
+		}
+	})
+}
+
+// FuzzUnmarshalCell: arbitrary bytes never panic the cell parser.
+func FuzzUnmarshalCell(f *testing.F) {
+	c, _ := MarshalCell(&packet.Cell{ID: 7, Src: 1, Dst: 2, Payload: []byte{9, 9}})
+	f.Add(c)
+	f.Add(make([]byte, cellWireBytes))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		cell, err := UnmarshalCell(append([]byte(nil), buf...))
+		if len(buf) != cellWireBytes {
+			if err == nil {
+				t.Fatalf("frame of %d bytes accepted", len(buf))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("sized frame errored: %v", err)
+		}
+		if cell == nil || len(cell.Payload) > cellPayloadBytes {
+			t.Fatal("parsed cell invalid")
+		}
+	})
+}

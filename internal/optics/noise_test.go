@@ -1,0 +1,86 @@
+package optics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPathOSNRPlausible(t *testing.T) {
+	xb, err := NewCrossbar(DemonstratorParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := xb.PathOSNR(17, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three amplification stages from a +3 dBm launch: a healthy link
+	// lands in the 20-40 dB OSNR range.
+	if o < 15 || o > 45 {
+		t.Errorf("path OSNR %v dB implausible", o)
+	}
+}
+
+func TestWorstPathOSNRSupportsTargetBER(t *testing.T) {
+	xb, err := NewCrossbar(DemonstratorParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := xb.WorstPathOSNR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §IV.C: the best raw optical BER is 1e-10..1e-12; the delivered
+	// OSNR must support at least 1e-10 for NRZ.
+	need := RequiredOSNR(NRZ, 1e-10)
+	if worst < need {
+		t.Errorf("worst OSNR %v dB below the %v needed for raw 1e-10", worst, need)
+	}
+}
+
+func TestRawBERWithinPaperRange(t *testing.T) {
+	xb, err := NewCrossbar(DemonstratorParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewXGMModel()
+	ber, err := xb.RawBER(NRZ, model, BER1e10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's operating range: raw BER 1e-10 or better (the model
+	// may deliver much better at low loading; it must not be worse).
+	if ber > 1e-10 {
+		t.Errorf("raw BER %.2e worse than the paper's 1e-10 floor", ber)
+	}
+	if ber <= 0 || math.IsNaN(ber) {
+		t.Errorf("raw BER %v degenerate", ber)
+	}
+	// DPSK must do at least as well as NRZ.
+	dber, err := xb.RawBER(DPSK, model, BER1e10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dber > ber {
+		t.Errorf("DPSK raw BER %.2e worse than NRZ %.2e", dber, ber)
+	}
+}
+
+func TestOSNRDegradesWithWeakLaunch(t *testing.T) {
+	strong := DemonstratorParams()
+	weak := DemonstratorParams()
+	weak.LaunchPower = -10
+	xbS, _ := NewCrossbar(strong)
+	xbW, _ := NewCrossbar(weak)
+	oS, err := xbS.PathOSNR(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oW, err := xbW.PathOSNR(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oW >= oS {
+		t.Errorf("weaker launch should degrade OSNR: %v vs %v", oW, oS)
+	}
+}

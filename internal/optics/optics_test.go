@@ -1,0 +1,258 @@
+package optics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestSOAGate(t *testing.T) {
+	s := DefaultSOA()
+	if s.On() {
+		t.Error("gate should start off")
+	}
+	if g := s.Set(true); g != s.GuardTime {
+		t.Errorf("state change guard %v", g)
+	}
+	if g := s.Set(true); g != 0 {
+		t.Errorf("no-op switch should cost no guard, got %v", g)
+	}
+	on := s.Through(-10)
+	s.Set(false)
+	off := s.Through(-10)
+	if float64(on)-float64(off) != float64(-s.Extinction) {
+		t.Errorf("on/off contrast %v, want extinction %v", on.Sub(off), -s.Extinction)
+	}
+}
+
+func TestDemonstratorStructure(t *testing.T) {
+	p := DemonstratorParams()
+	if p.Fibers() != 8 || p.Colors != 8 || p.Ports != 64 {
+		t.Errorf("structure %d ports, %d fibers, %d colors", p.Ports, p.Fibers(), p.Colors)
+	}
+	xb, err := NewCrossbar(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §V: 128 optical switching modules, 8 broadcast fibers.
+	if xb.Modules() != 128 {
+		t.Errorf("modules %d, paper says 128", xb.Modules())
+	}
+	// Each module: 8 fiber-select + 8 color-select SOAs.
+	if xb.SOACount() != 128*16 {
+		t.Errorf("SOA count %d", xb.SOACount())
+	}
+}
+
+func TestPortAddress(t *testing.T) {
+	p := DemonstratorParams()
+	fiber, color := p.PortAddress(0)
+	if fiber != 0 || color != 0 {
+		t.Errorf("port 0 -> (%d,%d)", fiber, color)
+	}
+	fiber, color = p.PortAddress(63)
+	if fiber != 7 || color != 7 {
+		t.Errorf("port 63 -> (%d,%d)", fiber, color)
+	}
+	// Eight ingress adapters share each fiber on distinct colors.
+	seen := map[int]bool{}
+	for port := 16; port < 24; port++ {
+		f, c := p.PortAddress(port)
+		if f != 2 {
+			t.Errorf("port %d on fiber %d, want 2", port, f)
+		}
+		if seen[c] {
+			t.Errorf("color %d reused within fiber", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := DemonstratorParams()
+	p.Ports = 60 // not divisible by 8 colors
+	if err := p.Validate(); err == nil {
+		t.Error("indivisible port count accepted")
+	}
+	p = DemonstratorParams()
+	p.ReceiversPerPort = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero receivers accepted")
+	}
+}
+
+func TestConfigureSelectsExactlyOneInput(t *testing.T) {
+	xb, err := NewCrossbar(DemonstratorParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := xb.ModuleOf(5, 1)
+	guard, err := xb.Configure(m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guard != DefaultSOA().GuardTime {
+		t.Errorf("first configuration guard %v", guard)
+	}
+	if xb.SelectedInput(m) != 42 {
+		t.Errorf("selected %d", xb.SelectedInput(m))
+	}
+	// Reconfiguring to the same input is free (no SOA state change).
+	if g, _ := xb.Configure(m, 42); g != 0 {
+		t.Errorf("no-op reconfigure guard %v", g)
+	}
+	// Dark the module.
+	if _, err := xb.Configure(m, -1); err != nil {
+		t.Fatal(err)
+	}
+	if xb.SelectedInput(m) != -1 {
+		t.Error("module not dark")
+	}
+	if _, err := xb.Configure(m, 64); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+	if _, err := xb.Configure(9999, 0); err == nil {
+		t.Error("out-of-range module accepted")
+	}
+}
+
+func TestSwitchEventsCount(t *testing.T) {
+	xb, _ := NewCrossbar(DemonstratorParams())
+	m := xb.ModuleOf(0, 0)
+	xb.Configure(m, 1)
+	xb.Configure(m, 1) // no-op
+	xb.Configure(m, 2)
+	xb.Configure(m, -1)
+	if xb.SwitchEvents() != 3 {
+		t.Errorf("switch events %d, want 3", xb.SwitchEvents())
+	}
+}
+
+func TestPowerBudgetCloses(t *testing.T) {
+	// §VI.A: "closed the optical power ... budgets".
+	xb, err := NewCrossbar(DemonstratorParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := xb.VerifyAllPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst <= 0 {
+		t.Errorf("worst margin %v dB", worst)
+	}
+	t.Logf("worst-case optical margin: %.2f dB", float64(worst))
+}
+
+func TestPathBudgetStages(t *testing.T) {
+	xb, _ := NewCrossbar(DemonstratorParams())
+	b, err := xb.PathBudget(17, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Stages) != 8 {
+		t.Errorf("stage count %d", len(b.Stages))
+	}
+	// Signal-to-crosstalk must be strongly positive with -40 dB gates.
+	if b.SignalToCrosstalk < 20 {
+		t.Errorf("signal-to-crosstalk %v dB", b.SignalToCrosstalk)
+	}
+	// Final stage power equals reported receive power.
+	if b.Stages[len(b.Stages)-1].Power != b.Receive {
+		t.Error("budget bookkeeping inconsistent")
+	}
+	if _, err := xb.PathBudget(-1, 0); err == nil {
+		t.Error("bad input accepted")
+	}
+	if _, err := xb.PathBudget(0, 999); err == nil {
+		t.Error("bad module accepted")
+	}
+}
+
+func TestBudgetFailsWithWeakAmplifier(t *testing.T) {
+	p := DemonstratorParams()
+	p.AmpGain = 0 // cannot overcome the 1:128 split
+	xb, err := NewCrossbar(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xb.VerifyAllPaths(); err == nil {
+		t.Error("hopeless budget accepted")
+	}
+}
+
+func TestAggregateBandwidth(t *testing.T) {
+	p := DemonstratorParams()
+	got := p.AggregateBandwidth(40 * units.GigabitPerSecond)
+	if got.TbPerSecond() != 2.56 {
+		t.Errorf("demonstrator aggregate %v", got)
+	}
+}
+
+func TestScalabilityConfigurations(t *testing.T) {
+	// §VII: 256 ports in a single stage via 16 colors x 16 fibers.
+	p := DemonstratorParams()
+	p.Ports = 256
+	p.Colors = 16
+	xb, err := NewCrossbar(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fibers() != 16 {
+		t.Errorf("fibers %d", p.Fibers())
+	}
+	agg := p.AggregateBandwidth(200 * units.GigabitPerSecond)
+	if agg.TbPerSecond() < 50 {
+		t.Errorf("scaled aggregate %v, paper claims 50+ Tb/s", agg)
+	}
+	_ = xb
+}
+
+func TestGuardConsistencyProperty(t *testing.T) {
+	// Property: after Configure(m, i) the module passes input i and the
+	// fabric never has two fiber gates on in one module.
+	xb, _ := NewCrossbar(DemonstratorParams())
+	f := func(mRaw, iRaw uint8) bool {
+		m := int(mRaw) % xb.Modules()
+		in := int(iRaw) % 64
+		if _, err := xb.Configure(m, in); err != nil {
+			return false
+		}
+		if xb.SelectedInput(m) != in {
+			return false
+		}
+		onF, onC := 0, 0
+		mod := &xb.modules[m]
+		for i := range mod.fiberGate {
+			if mod.fiberGate[i].On() {
+				onF++
+			}
+		}
+		for i := range mod.colorGate {
+			if mod.colorGate[i].On() {
+				onC++
+			}
+		}
+		return onF == 1 && onC == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitLossConsistency(t *testing.T) {
+	// Doubling receivers doubles the split and costs ~3 dB of margin.
+	single := DemonstratorParams()
+	single.ReceiversPerPort = 1
+	dual := DemonstratorParams()
+	xb1, _ := NewCrossbar(single)
+	xb2, _ := NewCrossbar(dual)
+	b1, _ := xb1.PathBudget(0, 0)
+	b2, _ := xb2.PathBudget(0, 0)
+	diff := float64(b1.Receive) - float64(b2.Receive)
+	if math.Abs(diff-3.01) > 0.05 {
+		t.Errorf("dual receivers should cost ~3 dB of receive power, got %.2f", diff)
+	}
+}

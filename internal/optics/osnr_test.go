@@ -1,0 +1,132 @@
+package optics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestFig10Calibration(t *testing.T) {
+	m := NewXGMModel()
+	// The paper's headline: 14 dB input-loading improvement for DPSK
+	// over NRZ at 1 dB OSNR penalty.
+	for _, b := range []BERTarget{BER1e6, BER1e10} {
+		imp := m.DPSKImprovement(b, 1)
+		if math.Abs(float64(imp)-14) > 0.2 {
+			t.Errorf("BER %v: DPSK improvement %v dB at 1 dB penalty, paper measures 14", b, imp)
+		}
+	}
+}
+
+func TestPenaltyShape(t *testing.T) {
+	m := NewXGMModel()
+	// Monotone increasing in input power.
+	prev := units.DB(-1)
+	for pin := units.DBm(-5); pin <= 20; pin += 1 {
+		p := m.Penalty(NRZ, BER1e10, pin)
+		if p < prev {
+			t.Fatalf("penalty not monotone at %v dBm", pin)
+		}
+		prev = p
+	}
+	// Negligible far below saturation, severe far above.
+	if low := m.Penalty(NRZ, BER1e10, -10); low > 0.2 {
+		t.Errorf("penalty %v dB at -10 dBm, want ~0", low)
+	}
+	if high := m.Penalty(NRZ, BER1e10, 15); high < 5 {
+		t.Errorf("penalty %v dB at +15 dBm, want severe", high)
+	}
+	// DPSK tolerates far more power at equal penalty.
+	if m.Penalty(DPSK, BER1e10, 10) > m.Penalty(NRZ, BER1e10, 10) {
+		t.Error("DPSK penalty should be below NRZ at equal loading")
+	}
+}
+
+func TestTighterBERCostsLoading(t *testing.T) {
+	m := NewXGMModel()
+	// At equal input power the 1e-10 target shows a higher penalty than
+	// 1e-6 (Fig. 10: the 1e-10 curves sit left/above).
+	for _, f := range []Modulation{NRZ, DPSK} {
+		p6 := m.Penalty(f, BER1e6, 5)
+		p10 := m.Penalty(f, BER1e10, 5)
+		if p10 < p6 {
+			t.Errorf("%v: penalty at 1e-10 (%v) below 1e-6 (%v)", f, p10, p6)
+		}
+	}
+}
+
+func TestLoadingAtPenaltyInverts(t *testing.T) {
+	m := NewXGMModel()
+	for _, f := range []Modulation{NRZ, DPSK} {
+		for _, pen := range []units.DB{0.5, 1, 2, 4} {
+			pin := m.LoadingAtPenalty(f, BER1e10, pen)
+			back := m.Penalty(f, BER1e10, pin)
+			if math.Abs(float64(back)-float64(pen)) > 0.01 {
+				t.Errorf("%v: penalty(loading(%v)) = %v", f, pen, back)
+			}
+		}
+	}
+}
+
+func TestQBERRoundTrip(t *testing.T) {
+	for _, ber := range []float64{1e-3, 1e-6, 1e-9, 1e-12} {
+		q := QFromBER(ber)
+		back := BERFromQ(q)
+		if math.Abs(math.Log10(back)-math.Log10(ber)) > 0.01 {
+			t.Errorf("BER %v -> Q %v -> BER %v", ber, q, back)
+		}
+	}
+	// Known anchor: BER 1e-9 needs Q ~ 6.
+	if q := QFromBER(1e-9); math.Abs(q-6.0) > 0.05 {
+		t.Errorf("Q(1e-9) = %v, want ~6.0", q)
+	}
+	if !math.IsInf(QFromBER(0), 1) || QFromBER(0.7) != 0 {
+		t.Error("QFromBER edge cases wrong")
+	}
+}
+
+func TestDPSKOSNRMargin(t *testing.T) {
+	// §VII: the SOA-switched DPSK link operates with 3 dB lower OSNR
+	// than NRZ at any BER.
+	for _, ber := range []float64{1e-6, 1e-9, 1e-12} {
+		diff := float64(RequiredOSNR(NRZ, ber)) - float64(RequiredOSNR(DPSK, ber))
+		if math.Abs(diff-3) > 1e-9 {
+			t.Errorf("OSNR margin %v dB at BER %v, want 3", diff, ber)
+		}
+	}
+	// Tighter BER requires more OSNR.
+	if RequiredOSNR(NRZ, 1e-12) <= RequiredOSNR(NRZ, 1e-6) {
+		t.Error("required OSNR not monotone in BER")
+	}
+}
+
+func TestLinkBERMonotoneInOSNR(t *testing.T) {
+	m := NewXGMModel()
+	prev := 1.0
+	for osnr := units.DB(8); osnr <= 30; osnr += 2 {
+		ber := LinkBER(NRZ, osnr, m, BER1e10, -5)
+		if ber > prev {
+			t.Fatalf("link BER not monotone at OSNR %v", osnr)
+		}
+		prev = ber
+	}
+	// Deep saturation must degrade BER.
+	clean := LinkBER(NRZ, 20, m, BER1e10, -10)
+	hot := LinkBER(NRZ, 20, m, BER1e10, 10)
+	if hot <= clean {
+		t.Error("XGM at high input power should worsen BER")
+	}
+}
+
+func TestModulationAndBERStrings(t *testing.T) {
+	if NRZ.String() != "NRZ" || DPSK.String() != "DPSK" {
+		t.Error("modulation names wrong")
+	}
+	if BER1e6.String() != "1e-6" || BER1e10.String() != "1e-10" {
+		t.Error("BER target names wrong")
+	}
+	if BER1e6.Value() != 1e-6 || BER1e10.Value() != 1e-10 {
+		t.Error("BER target values wrong")
+	}
+}

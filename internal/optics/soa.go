@@ -1,0 +1,90 @@
+// Package optics models the photonic data path of the OSMOSIS
+// demonstrator (§V, Fig. 5): a 64-port broadcast-and-select crossbar
+// built from 8 broadcast modules (one per fiber, each carrying 8 WDM
+// colors through an amplifier and a 1:128 star coupler) and 128
+// switching modules (two per egress for the dual-receiver option), each
+// a fast SOA 1×8 fiber-selector followed by a fast SOA 1×8
+// wavelength-selector.
+//
+// The models capture what the optical layer contributes to the system
+// study: per-path power budgets (feasibility), guard times (bandwidth
+// loss), SOA gating states and crosstalk (selectivity), static versus
+// per-packet control power, and the XGM/OSNR penalty behaviour that
+// motivates DPSK modulation (§VII, Fig. 10).
+package optics
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// SOA is a semiconductor optical amplifier used as an on/off gate.
+type SOA struct {
+	// Gain applied to the signal when the gate is on.
+	Gain units.DB
+	// Extinction is the off-state suppression (negative dB, e.g. -40).
+	Extinction units.DB
+	// GuardTime is the switching (state-change) time; ~5 ns for the
+	// electrically controlled devices of §II, sub-ns under DPSK
+	// saturation operation (§VII).
+	GuardTime units.Time
+	// SatInputPower is the input power at which gain compression by
+	// cross-gain modulation becomes significant.
+	SatInputPower units.DBm
+	// NoiseFigure degrades OSNR per pass.
+	NoiseFigure units.DB
+	// BiasPower is the static electrical power of the device (W); the
+	// paper's key point is that this does not scale with the data rate.
+	BiasPower float64
+	// SwitchEnergy is the electrical energy per state change (J).
+	SwitchEnergy float64
+
+	on bool
+}
+
+// DefaultSOA returns the gate parameters used across the demonstrator
+// models, representative of 2005-era InP SOAs.
+func DefaultSOA() SOA {
+	return SOA{
+		Gain:          12,
+		Extinction:    -40,
+		GuardTime:     5 * units.Nanosecond,
+		SatInputPower: 0,
+		NoiseFigure:   8,
+		BiasPower:     0.5,
+		SwitchEnergy:  2e-9,
+	}
+}
+
+// On reports the gate state.
+func (s *SOA) On() bool { return s.on }
+
+// Set switches the gate, returning the guard time the data path must
+// blank if the state actually changed.
+func (s *SOA) Set(on bool) units.Time {
+	if s.on == on {
+		return 0
+	}
+	s.on = on
+	return s.GuardTime
+}
+
+// Through reports the output power for a given input power in the
+// current state: amplified when on, suppressed to the extinction floor
+// when off.
+func (s *SOA) Through(in units.DBm) units.DBm {
+	if s.on {
+		return in.Add(s.Gain)
+	}
+	return in.Add(s.Gain).Add(s.Extinction)
+}
+
+// String formats the gate for diagnostics.
+func (s *SOA) String() string {
+	state := "off"
+	if s.on {
+		state = "on"
+	}
+	return fmt.Sprintf("soa{%s gain=%vdB guard=%v}", state, float64(s.Gain), s.GuardTime)
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Deflection-routing switch in the spirit of the Data Vortex (§II,
+// ref [10]): contention is resolved *in the optical domain* by sending
+// losing cells somewhere else instead of buffering them — modeled as an
+// N-port bufferless stage where, per slot, one contender wins each
+// output and every loser is deflected into a recirculation path that
+// re-enters through an input port several slots later. The architecture
+// needs no electronic buffers and scales to very high port counts, but
+// the paper's criticisms emerge directly:
+//
+//   - a recirculating cell occupies an input, blocking fresh injection,
+//     so sustained throughput per port is limited well below the ~0.99
+//     of the buffered VOQ architecture;
+//   - a deflected cell takes a longer path while its younger siblings
+//     cut ahead, so per-flow delivery order is not preserved.
+//
+// This is a deliberate simplification of the full Data Vortex cylinder
+// topology (documented in DESIGN.md): the recirculation loop stands in
+// for the extra angle/height hops of a deflected cell, and re-entry
+// contention for the vortex's injection-port blocking.
+type Deflect struct {
+	n int
+	// LoopSlots is the recirculation delay before a deflected cell
+	// contends again.
+	LoopSlots int
+	// MaxDeflections bounds recirculations per cell; beyond it the cell
+	// is dropped (optics cannot hold it forever). HPC requirements
+	// forbid such loss; the counter makes the violation measurable.
+	MaxDeflections int
+
+	rng *sim.RNG
+	// loop[t % len] holds cells re-entering at slot t.
+	loop [][]*deflCell
+	slot uint64
+
+	// Sink receives delivered cells with their latency in slots.
+	Sink func(c *packet.Cell, latencySlots uint64)
+
+	// Stats.
+	Delivered, Deflections, Dropped, InputBlocked uint64
+}
+
+type deflCell struct {
+	c       *packet.Cell
+	arrived uint64
+	bounces int
+}
+
+// NewDeflect builds an n-port deflection switch.
+func NewDeflect(n, loopSlots, maxDeflections int) *Deflect {
+	if loopSlots < 1 {
+		loopSlots = 1
+	}
+	if maxDeflections < 1 {
+		maxDeflections = 64
+	}
+	d := &Deflect{
+		n:              n,
+		LoopSlots:      loopSlots,
+		MaxDeflections: maxDeflections,
+		rng:            sim.NewRNG(uint64(n)*0x9e3779b97f4a7c15 + 7),
+	}
+	d.loop = make([][]*deflCell, loopSlots+1)
+	return d
+}
+
+// N reports the port count.
+func (d *Deflect) N() int { return d.n }
+
+// Recirculating reports cells currently in the loop.
+func (d *Deflect) Recirculating() int {
+	total := 0
+	for _, batch := range d.loop {
+		total += len(batch)
+	}
+	return total
+}
+
+// Step advances one slot. arrivals[i] is the new cell at input i (nil
+// for none); an arrival whose input is occupied by a re-entering cell
+// is refused (InputBlocked) — the source must retry later, which is the
+// injection-throughput limit of the architecture.
+func (d *Deflect) Step(arrivals []*packet.Cell) {
+	idx := int(d.slot % uint64(len(d.loop)))
+	// Re-entering cells claim their input ports first.
+	occupied := make([]*deflCell, d.n)
+	var overflow []*deflCell
+	for _, dc := range d.loop[idx] {
+		in := (dc.c.Src + dc.bounces) % d.n
+		if occupied[in] == nil {
+			occupied[in] = dc
+		} else {
+			// Port already claimed this slot: circulate one more turn
+			// (not counted as a deflection; it is loop congestion).
+			overflow = append(overflow, dc)
+		}
+	}
+	d.loop[idx] = d.loop[idx][:0]
+	land := (idx + d.LoopSlots) % len(d.loop)
+	d.loop[land] = append(d.loop[land], overflow...)
+
+	for in, c := range arrivals {
+		if c == nil {
+			continue
+		}
+		if occupied[in] != nil {
+			d.InputBlocked++
+			continue
+		}
+		occupied[in] = &deflCell{c: c, arrived: d.slot}
+	}
+
+	// Contention per output; the winner is positional (no age priority,
+	// exactly why deflection reorders flows).
+	contenders := make([][]*deflCell, d.n)
+	for _, dc := range occupied {
+		if dc != nil {
+			contenders[dc.c.Dst] = append(contenders[dc.c.Dst], dc)
+		}
+	}
+	for _, cs := range contenders {
+		if len(cs) == 0 {
+			continue
+		}
+		win := d.rng.Intn(len(cs))
+		d.Delivered++
+		if d.Sink != nil {
+			d.Sink(cs[win].c, d.slot-cs[win].arrived+1)
+		}
+		for i, dc := range cs {
+			if i == win {
+				continue
+			}
+			dc.bounces++
+			d.Deflections++
+			if dc.bounces > d.MaxDeflections {
+				d.Dropped++
+				continue
+			}
+			d.loop[land] = append(d.loop[land], dc)
+		}
+	}
+	d.slot++
+}

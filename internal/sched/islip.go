@@ -1,0 +1,145 @@
+package sched
+
+// iSLIP (McKeown): iterative round-robin matching with pointer
+// desynchronization. Outputs grant in round-robin order among
+// requesting inputs; inputs accept in round-robin order among granting
+// outputs; pointers advance only when a grant made in the first
+// iteration is accepted, which desynchronizes the pointers and yields
+// 100% throughput under uniform traffic.
+//
+// The combinational form below performs all iterations inside one packet
+// cycle — the behaviour of an ASIC arbiter with enough speed, and the
+// matching-quality reference. The pipelined prior-art form (one
+// iteration per FPGA cycle, matchings delivered log2N cycles after the
+// request) lives in pipelined.go.
+
+// ISLIP is a combinational multi-iteration iSLIP arbiter.
+type ISLIP struct {
+	n, iters int
+	// grantPtr[out] is the output's round-robin grant pointer; for dual
+	// receivers it is shared across the output's receiver slots.
+	grantPtr []int
+	// acceptPtr[in] is the input's round-robin accept pointer.
+	acceptPtr []int
+}
+
+// NewISLIP returns an n-port iSLIP arbiter running iters iterations per
+// cycle. iters <= 0 selects the paper's log2(n) default.
+func NewISLIP(n, iters int) *ISLIP {
+	if iters <= 0 {
+		iters = Log2Ceil(n)
+	}
+	s := &ISLIP{n: n, iters: iters}
+	s.Reset()
+	return s
+}
+
+// Name implements Scheduler.
+func (s *ISLIP) Name() string { return "islip" }
+
+// GrantLatency implements Scheduler: a combinational arbiter grants in
+// the same cycle the request is made.
+func (s *ISLIP) GrantLatency() int { return 1 }
+
+// Reset implements Scheduler.
+func (s *ISLIP) Reset() {
+	s.grantPtr = make([]int, s.n)
+	s.acceptPtr = make([]int, s.n)
+}
+
+// Tick implements Scheduler.
+func (s *ISLIP) Tick(_ uint64, b Board) Matching {
+	m := NewMatching(s.n)
+	iterate(b, &m, s.grantPtr, s.acceptPtr, s.iters, nil)
+	return m
+}
+
+// iterate runs up to iters iterations of the round-robin request/grant/
+// accept protocol on a (possibly pre-populated) partial matching m.
+//
+// demandUsed, when non-nil, tracks cells already promised by the caller
+// across several in-flight matchings (FLPPR): entry [in][out] is
+// subtracted from the board demand.
+//
+// Pointer update follows the iSLIP rule: pointers move one past the
+// match only for matches made in the first iteration of this call chain
+// (firstIter indexes which absolute iteration this call starts at; the
+// caller passes 0 pointers for classic behaviour).
+func iterate(b Board, m *Matching, grantPtr, acceptPtr []int, iters int, demandUsed [][]int) int {
+	n := b.N()
+	r := b.Receivers()
+	outLoad := m.OutputLoad(n)
+	added := 0
+	for it := 0; it < iters; it++ {
+		// Grant phase: each output with spare receiver capacity grants
+		// up to its remaining capacity among requesting unmatched inputs,
+		// scanning round-robin from its pointer.
+		grants := make([][]int, n) // grants[in] = outputs granting to in
+		granted := false
+		for out := 0; out < n; out++ {
+			capacity := r - outLoad[out]
+			if capacity <= 0 {
+				continue
+			}
+			start := grantPtr[out]
+			for k := 0; k < n && capacity > 0; k++ {
+				in := (start + k) % n
+				if m.Out[in] >= 0 {
+					continue
+				}
+				d := b.Demand(in, out)
+				if demandUsed != nil {
+					d -= demandUsed[in][out]
+				}
+				if d <= 0 {
+					continue
+				}
+				grants[in] = append(grants[in], out)
+				capacity--
+				granted = true
+			}
+		}
+		if !granted {
+			break
+		}
+		// Accept phase: each input with grants accepts the first in
+		// round-robin order from its accept pointer.
+		accepted := false
+		for in := 0; in < n; in++ {
+			gs := grants[in]
+			if len(gs) == 0 || m.Out[in] >= 0 {
+				continue
+			}
+			best, bestDist := -1, n+1
+			for _, out := range gs {
+				dist := (out - acceptPtr[in] + n) % n
+				if dist < bestDist {
+					best, bestDist = out, dist
+				}
+			}
+			if best < 0 || outLoad[best] >= r {
+				continue
+			}
+			m.Out[in] = best
+			outLoad[best]++
+			added++
+			accepted = true
+			if demandUsed != nil {
+				demandUsed[in][best]++
+			}
+			// iSLIP pointer rule: update on first-iteration accepts only.
+			if it == 0 {
+				grantPtr[best] = (in + 1) % n
+				acceptPtr[in] = (best + 1) % n
+			}
+		}
+		if !accepted {
+			break
+		}
+	}
+	return added
+}
+
+// SelfCommits implements Scheduler: the combinational arbiter's grants
+// execute in the same cycle, so no reservation bookkeeping is needed.
+func (s *ISLIP) SelfCommits() bool { return false }

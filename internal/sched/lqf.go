@@ -1,0 +1,69 @@
+package sched
+
+import "sort"
+
+// LQF is the Longest-Queue-First maximal-weight heuristic: a greedy
+// matching that repeatedly grants the (input, output) pair with the
+// deepest VOQ among unmatched ports. It approximates the maximum-weight
+// matching that achieves 100% throughput for any admissible traffic
+// (McKeown et al. [17] prove the result for LQF-style weights), at an
+// O(N² log N) cost per cycle that hardware cannot afford at OSMOSIS
+// cell times — which is exactly why the paper's arbiter family is
+// round-robin based. Included as the matching-quality reference in the
+// scheduler ablations.
+type LQF struct {
+	n int
+}
+
+// NewLQF returns an n-port LQF arbiter.
+func NewLQF(n int) *LQF { return &LQF{n: n} }
+
+// Name implements Scheduler.
+func (l *LQF) Name() string { return "lqf" }
+
+// GrantLatency implements Scheduler.
+func (l *LQF) GrantLatency() int { return 1 }
+
+// SelfCommits implements Scheduler.
+func (l *LQF) SelfCommits() bool { return false }
+
+// Reset implements Scheduler.
+func (l *LQF) Reset() {}
+
+type lqfEdge struct {
+	in, out, w int
+}
+
+// Tick implements Scheduler.
+func (l *LQF) Tick(_ uint64, b Board) Matching {
+	n := b.N()
+	r := b.Receivers()
+	edges := make([]lqfEdge, 0, n*4)
+	for in := 0; in < n; in++ {
+		for out := 0; out < n; out++ {
+			if w := b.Demand(in, out); w > 0 {
+				edges = append(edges, lqfEdge{in, out, w})
+			}
+		}
+	}
+	// Deepest queue first; deterministic tiebreak by (in, out).
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].in != edges[j].in {
+			return edges[i].in < edges[j].in
+		}
+		return edges[i].out < edges[j].out
+	})
+	m := NewMatching(n)
+	outLoad := make([]int, n)
+	for _, e := range edges {
+		if m.Out[e.in] >= 0 || outLoad[e.out] >= r {
+			continue
+		}
+		m.Out[e.in] = e.out
+		outLoad[e.out]++
+	}
+	return m
+}

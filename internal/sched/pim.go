@@ -1,0 +1,96 @@
+package sched
+
+import "repro/internal/sim"
+
+// PIM (Parallel Iterative Matching, Anderson et al.) is the randomized
+// ancestor of iSLIP: outputs grant a uniformly random requesting input,
+// inputs accept a uniformly random grant. Its matching quality converges
+// in about log2 N iterations but it cannot desynchronize, so it saturates
+// near 63% with a single iteration. Included as a scheduler baseline.
+type PIM struct {
+	n, iters int
+	rng      *sim.RNG
+	seed     uint64
+}
+
+// NewPIM returns an n-port PIM arbiter with the given iteration count
+// (<= 0 selects log2 n) and RNG seed.
+func NewPIM(n, iters int, seed uint64) *PIM {
+	if iters <= 0 {
+		iters = Log2Ceil(n)
+	}
+	return &PIM{n: n, iters: iters, rng: sim.NewRNG(seed), seed: seed}
+}
+
+// Name implements Scheduler.
+func (p *PIM) Name() string { return "pim" }
+
+// GrantLatency implements Scheduler.
+func (p *PIM) GrantLatency() int { return 1 }
+
+// Reset implements Scheduler.
+func (p *PIM) Reset() { p.rng = sim.NewRNG(p.seed) }
+
+// Tick implements Scheduler.
+func (p *PIM) Tick(_ uint64, b Board) Matching {
+	n := b.N()
+	r := b.Receivers()
+	m := NewMatching(n)
+	outLoad := make([]int, n)
+	for it := 0; it < p.iters; it++ {
+		// Grant: each output with capacity picks random requesters.
+		grants := make([][]int, n)
+		granted := false
+		for out := 0; out < n; out++ {
+			capacity := r - outLoad[out]
+			if capacity <= 0 {
+				continue
+			}
+			var requesters []int
+			for in := 0; in < n; in++ {
+				if m.Out[in] < 0 && b.Demand(in, out) > 0 {
+					requesters = append(requesters, in)
+				}
+			}
+			for c := 0; c < capacity && len(requesters) > 0; c++ {
+				k := p.rng.Intn(len(requesters))
+				in := requesters[k]
+				requesters = append(requesters[:k], requesters[k+1:]...)
+				grants[in] = append(grants[in], out)
+				granted = true
+			}
+		}
+		if !granted {
+			break
+		}
+		// Accept: each input picks a random grant.
+		accepted := false
+		for in := 0; in < n; in++ {
+			gs := grants[in]
+			if len(gs) == 0 || m.Out[in] >= 0 {
+				continue
+			}
+			// Filter grants whose output filled up this iteration.
+			var avail []int
+			for _, out := range gs {
+				if outLoad[out] < r {
+					avail = append(avail, out)
+				}
+			}
+			if len(avail) == 0 {
+				continue
+			}
+			out := avail[p.rng.Intn(len(avail))]
+			m.Out[in] = out
+			outLoad[out]++
+			accepted = true
+		}
+		if !accepted {
+			break
+		}
+	}
+	return m
+}
+
+// SelfCommits implements Scheduler.
+func (p *PIM) SelfCommits() bool { return false }

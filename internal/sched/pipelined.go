@@ -1,0 +1,74 @@
+package sched
+
+// PipelinedISLIP models the "previous state of the art" arbiter of
+// Fig. 6: the FPGA completes only one iSLIP iteration per 51.2 ns packet
+// cycle, so a matching samples the request state, is refined for log2 N
+// cycles, and only then issues its grants. A new matching is started
+// every cycle, so the scheduler still emits one matching per cycle and
+// sustains throughput — but every request waits the full pipeline depth
+// for its grant, which is the latency penalty FLPPR removes.
+//
+// Model: each cycle a complete multi-iteration matching is computed from
+// the current uncommitted demand and its cells are committed on the
+// Board immediately (they are promised); the matching is then held in a
+// delay line and issued depth-1 cycles later. Committing at computation
+// time keeps matchings computed in the intervening cycles from claiming
+// the same cells, exactly like the request-counter bookkeeping in the
+// hardware scheduler.
+type PipelinedISLIP struct {
+	n, depth, iters int
+	grantPtr        []int
+	acceptPtr       []int
+	// delay[0] is issued this cycle; a freshly computed matching is
+	// appended at the back.
+	delay []Matching
+}
+
+// NewPipelinedISLIP returns an n-port pipelined iSLIP whose grants lag
+// requests by depth cycles (<= 0 selects log2 n, the iteration count the
+// paper cites as necessary for good utilization [17]).
+func NewPipelinedISLIP(n, depth int) *PipelinedISLIP {
+	if depth <= 0 {
+		depth = Log2Ceil(n)
+	}
+	s := &PipelinedISLIP{n: n, depth: depth, iters: depth}
+	s.Reset()
+	return s
+}
+
+// Name implements Scheduler.
+func (s *PipelinedISLIP) Name() string { return "pipelined-islip" }
+
+// GrantLatency implements Scheduler: every request waits the full
+// pipeline depth.
+func (s *PipelinedISLIP) GrantLatency() int { return s.depth }
+
+// Reset implements Scheduler.
+func (s *PipelinedISLIP) Reset() {
+	s.grantPtr = make([]int, s.n)
+	s.acceptPtr = make([]int, s.n)
+	s.delay = make([]Matching, 0, s.depth)
+	for i := 0; i < s.depth-1; i++ {
+		s.delay = append(s.delay, NewMatching(s.n))
+	}
+}
+
+// Tick implements Scheduler.
+func (s *PipelinedISLIP) Tick(_ uint64, b Board) Matching {
+	// Start this cycle's matching from current (uncommitted) demand and
+	// commit every edge: the grant is now promised for depth-1 cycles on.
+	m := NewMatching(s.n)
+	iterate(b, &m, s.grantPtr, s.acceptPtr, s.iters, nil)
+	for in, out := range m.Out {
+		if out >= 0 {
+			b.Commit(in, out)
+		}
+	}
+	s.delay = append(s.delay, m)
+	issued := s.delay[0]
+	s.delay = s.delay[1:]
+	return issued
+}
+
+// SelfCommits implements Scheduler: Tick commits every promised edge.
+func (s *PipelinedISLIP) SelfCommits() bool { return true }

@@ -1,0 +1,122 @@
+// Package sched implements the central crossbar arbiters the paper
+// studies: PIM, iSLIP (combinational and pipelined "prior art"), and the
+// OSMOSIS FLPPR scheduler (Fast Low-latency Parallel Pipelined
+// aRbitration, ref [22]), plus the load-balanced Birkhoff-von Neumann
+// switch used as an architectural comparison (§VI.D).
+//
+// The contract is slot-synchronous: once per packet cycle the switch
+// engine calls Tick with a Board view of the current VOQ state; the
+// scheduler returns the matching to execute in that cycle. Pipelined
+// schedulers keep in-progress matchings across cycles and must Commit
+// cells they promise to future matchings so they are not double-counted.
+package sched
+
+import "fmt"
+
+// Board is the scheduler's view of the ingress VOQ state.
+type Board interface {
+	// N reports the port count.
+	N() int
+	// Receivers reports how many cells one output can accept per cycle
+	// (1 = single receiver, 2 = the OSMOSIS dual-receiver option).
+	Receivers() int
+	// Demand reports the number of uncommitted queued cells at input in
+	// destined to output out.
+	Demand(in, out int) int
+	// Commit reserves one queued cell of VOQ(in,out) for a grant that a
+	// pipelined scheduler will deliver in a future cycle.
+	Commit(in, out int)
+	// Uncommit releases a reservation that will not turn into a grant.
+	Uncommit(in, out int)
+}
+
+// Matching is the arbitration result for one cycle: Out[i] is the list
+// of outputs input i transmits to (at most one — each ingress has a
+// single transmitter; the slice form keeps the representation uniform
+// with the per-output multiplicity R on the receive side).
+type Matching struct {
+	// Out[i] is the granted output for input i, or -1.
+	Out []int
+}
+
+// NewMatching returns an empty matching over n inputs.
+func NewMatching(n int) Matching {
+	m := Matching{Out: make([]int, n)}
+	for i := range m.Out {
+		m.Out[i] = -1
+	}
+	return m
+}
+
+// Size reports the number of matched inputs.
+func (m Matching) Size() int {
+	s := 0
+	for _, o := range m.Out {
+		if o >= 0 {
+			s++
+		}
+	}
+	return s
+}
+
+// OutputLoad reports how many inputs were matched to each output.
+func (m Matching) OutputLoad(n int) []int {
+	load := make([]int, n)
+	for _, o := range m.Out {
+		if o >= 0 {
+			load[o]++
+		}
+	}
+	return load
+}
+
+// Validate checks the crossbar constraints: at most one output per input
+// (by construction) and at most r inputs per output.
+func (m Matching) Validate(n, r int) error {
+	for i, o := range m.Out {
+		if o < -1 || o >= n {
+			return fmt.Errorf("sched: input %d matched to invalid output %d", i, o)
+		}
+	}
+	load := m.OutputLoad(n)
+	for o, l := range load {
+		if l > r {
+			return fmt.Errorf("sched: output %d matched %d times, max %d", o, l, r)
+		}
+	}
+	return nil
+}
+
+// Scheduler arbitrates the bufferless crossbar once per packet cycle.
+type Scheduler interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// GrantLatency reports the nominal light-load request-to-grant
+	// pipeline depth in packet cycles (Fig. 6: 1 for FLPPR, log2 N for
+	// the pipelined prior art).
+	GrantLatency() int
+	// Tick performs one cycle of arbitration work and returns the
+	// matching to execute this cycle.
+	Tick(slot uint64, b Board) Matching
+	// SelfCommits reports whether Tick already calls Board.Commit for
+	// every edge it promises (pipelined schedulers). When false and the
+	// switch delays matchings (control-RTT modelling), the switch engine
+	// must commit the edges itself to keep demand accounting correct.
+	SelfCommits() bool
+	// Reset clears all pointer and pipeline state.
+	Reset()
+}
+
+// Log2Ceil reports ceil(log2(n)), the iteration count the paper cites as
+// required for good utilization on an n-port switch [17].
+func Log2Ceil(n int) int {
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	if k == 0 {
+		return 1
+	}
+	return k
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesInterp(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Add(0, 0)
+	s.Add(10, 100)
+	if got := s.Interp(5); got != 50 {
+		t.Errorf("interp(5) = %v", got)
+	}
+	if got := s.Interp(-1); got != 0 {
+		t.Errorf("clamp below: %v", got)
+	}
+	if got := s.Interp(99); got != 100 {
+		t.Errorf("clamp above: %v", got)
+	}
+	var empty Series
+	if !math.IsNaN(empty.Interp(1)) {
+		t.Error("empty series should interp NaN")
+	}
+}
+
+func TestSeriesXWhereY(t *testing.T) {
+	s := &Series{}
+	s.Add(0, 0)
+	s.Add(10, 1)
+	s.Add(20, 5)
+	if got := s.XWhereY(1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("XWhereY(1) = %v", got)
+	}
+	if got := s.XWhereY(3); math.Abs(got-15) > 1e-9 {
+		t.Errorf("XWhereY(3) = %v", got)
+	}
+	if got := s.XWhereY(99); !math.IsNaN(got) {
+		t.Errorf("no crossing should be NaN, got %v", got)
+	}
+}
+
+func TestSeriesYAt(t *testing.T) {
+	s := &Series{}
+	s.Add(1, 11)
+	if got := s.YAt(1); got != 11 {
+		t.Errorf("YAt(1)=%v", got)
+	}
+	if got := s.YAt(2); !math.IsNaN(got) {
+		t.Errorf("missing x should be NaN, got %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig. 7", "load", "delay")
+	a := tb.AddSeries("single")
+	b := tb.AddSeries("dual")
+	a.Add(0.5, 2.1)
+	a.Add(0.9, 11)
+	b.Add(0.5, 1.6)
+	var sb strings.Builder
+	tb.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"# Fig. 7", "load", "single", "dual", "0.5", "0.9", "2.1", "11", "1.6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Missing point renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing point should render as '-':\n%s", out)
+	}
+	if tb.Lookup("single") != a || tb.Lookup("nope") != nil {
+		t.Error("Lookup misbehaved")
+	}
+}
+
+func TestTableXValuesSorted(t *testing.T) {
+	tb := NewTable("t", "x", "y")
+	s := tb.AddSeries("s")
+	s.Add(3, 1)
+	s.Add(1, 1)
+	s.Add(2, 1)
+	xs := tb.xValues()
+	if len(xs) != 3 || xs[0] != 1 || xs[1] != 2 || xs[2] != 3 {
+		t.Errorf("xValues %v", xs)
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{5, "5"},
+		{0.25, "0.25"},
+		{1234567, "1.235e+06"},
+		{1e-9, "1.000e-09"},
+		{math.NaN(), "NaN"},
+	}
+	for _, c := range cases {
+		if got := formatCell(c.in); got != c.want {
+			t.Errorf("formatCell(%v) = %q want %q", c.in, got, c.want)
+		}
+	}
+}

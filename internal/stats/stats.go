@@ -1,0 +1,280 @@
+// Package stats provides the streaming statistics used to evaluate the
+// fabric simulations: running moments, latency histograms with
+// percentiles, time-weighted occupancy averages, and warm-up trimming.
+//
+// All collectors are single-goroutine by design: the simulation kernel is
+// sequential, so collectors avoid locks entirely.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Running accumulates count, mean, and variance using Welford's method,
+// plus min/max. The zero value is ready to use.
+type Running struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N reports the number of observations.
+func (r *Running) N() uint64 { return r.n }
+
+// Mean reports the sample mean, or NaN with no observations.
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance reports the unbiased sample variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min reports the smallest observation, or NaN with no observations.
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.min
+}
+
+// Max reports the largest observation, or NaN with no observations.
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.max
+}
+
+// StdErr reports the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// CI95 reports a normal-approximation 95% confidence half-width.
+func (r *Running) CI95() float64 { return 1.96 * r.StdErr() }
+
+// Merge folds other into r (parallel-batch combination).
+func (r *Running) Merge(other *Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *other
+		return
+	}
+	n1, n2 := float64(r.n), float64(other.n)
+	d := other.mean - r.mean
+	tot := n1 + n2
+	r.mean += d * n2 / tot
+	r.m2 += other.m2 + d*d*n1*n2/tot
+	r.n += other.n
+	if other.min < r.min {
+		r.min = other.min
+	}
+	if other.max > r.max {
+		r.max = other.max
+	}
+}
+
+// Reset clears the collector.
+func (r *Running) Reset() { *r = Running{} }
+
+// LatencySample collects Time observations and reports exact quantiles.
+// It keeps every sample; fabric runs observe at most a few million cells,
+// which is cheap to retain and makes percentile math exact.
+type LatencySample struct {
+	samples []units.Time
+	sorted  bool
+	run     Running
+}
+
+// Add records one latency observation.
+func (s *LatencySample) Add(t units.Time) {
+	s.samples = append(s.samples, t)
+	s.sorted = false
+	s.run.Add(float64(t))
+}
+
+// N reports the number of observations.
+func (s *LatencySample) N() int { return len(s.samples) }
+
+// Mean reports the mean latency.
+func (s *LatencySample) Mean() units.Time {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return units.Time(math.Round(s.run.Mean()))
+}
+
+// StdDev reports the latency standard deviation in picoseconds.
+func (s *LatencySample) StdDev() float64 { return s.run.StdDev() }
+
+// Quantile reports the q-th (0..1) sample quantile with linear
+// interpolation between order statistics.
+func (s *LatencySample) Quantile(q float64) units.Time {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.samples[0]
+	}
+	if q >= 1 {
+		return s.samples[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	if hi >= n {
+		return s.samples[n-1]
+	}
+	frac := pos - float64(lo)
+	return s.samples[lo] + units.Time(math.Round(frac*float64(s.samples[hi]-s.samples[lo])))
+}
+
+// Median reports the 50th percentile.
+func (s *LatencySample) Median() units.Time { return s.Quantile(0.5) }
+
+// P99 reports the 99th percentile.
+func (s *LatencySample) P99() units.Time { return s.Quantile(0.99) }
+
+// Max reports the largest observation.
+func (s *LatencySample) Max() units.Time {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return units.Time(s.run.Max())
+}
+
+// Min reports the smallest observation.
+func (s *LatencySample) Min() units.Time {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return units.Time(s.run.Min())
+}
+
+// Reset clears all samples.
+func (s *LatencySample) Reset() {
+	s.samples = s.samples[:0]
+	s.sorted = false
+	s.run.Reset()
+}
+
+// String summarizes the sample for reports.
+func (s *LatencySample) String() string {
+	if s.N() == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		s.N(), s.Mean(), s.Median(), s.P99(), s.Max())
+}
+
+// TimeWeighted tracks a piecewise-constant quantity (queue occupancy,
+// link busy state) and reports its time-average.
+type TimeWeighted struct {
+	last     units.Time
+	value    float64
+	area     float64
+	started  bool
+	maxValue float64
+}
+
+// Set records that the quantity changed to v at time now.
+func (w *TimeWeighted) Set(now units.Time, v float64) {
+	if w.started {
+		if now < w.last {
+			panic(fmt.Sprintf("stats: time went backwards: %v < %v", now, w.last))
+		}
+		w.area += w.value * float64(now-w.last)
+	} else {
+		w.started = true
+		w.maxValue = v
+	}
+	if v > w.maxValue {
+		w.maxValue = v
+	}
+	w.last = now
+	w.value = v
+}
+
+// Value reports the current quantity.
+func (w *TimeWeighted) Value() float64 { return w.value }
+
+// MaxValue reports the largest value ever set.
+func (w *TimeWeighted) MaxValue() float64 { return w.maxValue }
+
+// Average reports the time-average over [start of observation, now].
+func (w *TimeWeighted) Average(now units.Time) float64 {
+	if !w.started || now <= 0 {
+		return 0
+	}
+	area := w.area + w.value*float64(now-w.last)
+	elapsed := float64(now)
+	if elapsed == 0 {
+		return 0
+	}
+	return area / elapsed
+}
+
+// Counter is a monotone event counter with a rate helper.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn adds n.
+func (c *Counter) Addn(n uint64) { c.n += n }
+
+// Value reports the count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Rate reports events per second of simulated time.
+func (c *Counter) Rate(elapsed units.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.n) / elapsed.Seconds()
+}

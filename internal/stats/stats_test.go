@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) {
+		t.Error("empty mean should be NaN")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(v)
+	}
+	if r.N() != 8 {
+		t.Errorf("n=%d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("mean %v", r.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(r.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance %v", r.Variance())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("min/max %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningMatchesDirectProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var r Running
+		var sum float64
+		vals := make([]float64, len(raw))
+		for i, u := range raw {
+			vals[i] = float64(u)/100 - 300
+			r.Add(vals[i])
+			sum += vals[i]
+		}
+		mean := sum / float64(len(vals))
+		var ss float64
+		for _, v := range vals {
+			ss += (v - mean) * (v - mean)
+		}
+		direct := ss / float64(len(vals)-1)
+		return math.Abs(r.Mean()-mean) < 1e-6 && math.Abs(r.Variance()-direct) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMergeProperty(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		var whole, left, right Running
+		for _, u := range a {
+			v := float64(u) / 7
+			whole.Add(v)
+			left.Add(v)
+		}
+		for _, u := range b {
+			v := float64(u) / 7
+			whole.Add(v)
+			right.Add(v)
+		}
+		left.Merge(&right)
+		if whole.N() != left.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		return math.Abs(whole.Mean()-left.Mean()) < 1e-6 &&
+			math.Abs(whole.Variance()-left.Variance()) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencySampleQuantiles(t *testing.T) {
+	var s LatencySample
+	for i := 1; i <= 100; i++ {
+		s.Add(units.Time(i) * units.Nanosecond)
+	}
+	if got := s.Median(); got < 50*units.Nanosecond || got > 51*units.Nanosecond {
+		t.Errorf("median %v", got)
+	}
+	if got := s.Quantile(0); got != units.Nanosecond {
+		t.Errorf("q0 %v", got)
+	}
+	if got := s.Quantile(1); got != 100*units.Nanosecond {
+		t.Errorf("q1 %v", got)
+	}
+	if got := s.P99(); got < 99*units.Nanosecond {
+		t.Errorf("p99 %v", got)
+	}
+	if s.Min() != units.Nanosecond || s.Max() != 100*units.Nanosecond {
+		t.Errorf("min/max %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Mean(); got != units.Time(50500) {
+		t.Errorf("mean %v ps", int64(got))
+	}
+}
+
+func TestLatencySampleInterleavedAddQuery(t *testing.T) {
+	var s LatencySample
+	s.Add(10)
+	_ = s.Median()
+	s.Add(20) // must invalidate sorted state
+	s.Add(5)
+	if got := s.Median(); got != 10 {
+		t.Errorf("median after re-add: %v", got)
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 1)
+	w.Set(10, 3)
+	w.Set(20, 0)
+	// [0,10): 1, [10,20): 3, [20,40): 0 -> area 40 over 40 = 1.0
+	if got := w.Average(40); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("average %v", got)
+	}
+	if w.MaxValue() != 3 {
+		t.Errorf("max %v", w.MaxValue())
+	}
+	if w.Value() != 0 {
+		t.Errorf("value %v", w.Value())
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	var w TimeWeighted
+	w.Set(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards time should panic")
+		}
+	}()
+	w.Set(5, 2)
+}
+
+func TestCounterRate(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Addn(9)
+	if c.Value() != 10 {
+		t.Errorf("value %d", c.Value())
+	}
+	if got := c.Rate(units.Microsecond); math.Abs(got-1e7) > 1 {
+		t.Errorf("rate %v", got)
+	}
+}
+
+func TestRNGIndependentOfStats(t *testing.T) {
+	// Collectors must not consume randomness; a guard against accidental
+	// coupling between measurement and simulation streams.
+	r := sim.NewRNG(3)
+	before := r.Uint64()
+	var run Running
+	run.Add(1)
+	r2 := sim.NewRNG(3)
+	if before != r2.Uint64() {
+		t.Error("stats polluted RNG determinism")
+	}
+}

@@ -1,0 +1,110 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// BurstCDR models the burst-mode clock-and-data recovery of §IV.C and
+// the §VII improvement: with an optical switch, each cell reaches the
+// receiver from a different serializer with independent phase (frequency
+// is locked by the central reference), so the CDR must re-acquire phase
+// at every cell. §VII proposes a dual-time-constant loop — a fast lock
+// constant for the first bits of the packet, then a slow constant to
+// ride out long run lengths.
+type BurstCDR struct {
+	// LineRate sets the bit time.
+	LineRate units.Bandwidth
+	// FastTau is the acquisition loop time constant in bits: phase
+	// error decays by e every FastTau transition-bearing bits.
+	FastTau float64
+	// SlowTau is the tracking constant after lock (larger = more run
+	// tolerance, slower drift correction).
+	SlowTau float64
+	// LockTolerance is the residual phase error (fraction of one UI)
+	// at which data recovery is reliable.
+	LockTolerance float64
+	// FreqOffsetPPM is the residual frequency mismatch between the
+	// sender's and receiver's reference copies (small: the reference is
+	// centrally distributed).
+	FreqOffsetPPM float64
+}
+
+// DemonstratorCDR returns representative burst-mode receiver values at
+// the demonstrator line rate.
+func DemonstratorCDR() BurstCDR {
+	return BurstCDR{
+		LineRate:      units.OSMOSISPortRate,
+		FastTau:       12,
+		SlowTau:       4000,
+		LockTolerance: 0.05,
+		FreqOffsetPPM: 1,
+	}
+}
+
+// AcquisitionBits reports how many preamble bits the fast loop needs to
+// pull a worst-case half-UI phase error inside the lock tolerance.
+func (c BurstCDR) AcquisitionBits() int {
+	if c.LockTolerance <= 0 || c.LockTolerance >= 0.5 {
+		return 0
+	}
+	// 0.5 * exp(-n/FastTau) <= LockTolerance
+	n := c.FastTau * math.Log(0.5/c.LockTolerance)
+	return int(math.Ceil(n))
+}
+
+// AcquisitionTime reports the guard-time contribution of acquisition.
+func (c BurstCDR) AcquisitionTime() units.Time {
+	return units.Time(c.AcquisitionBits()) * units.BitTime(c.LineRate)
+}
+
+// MaxRunLength reports the longest transition-free run (in bits) the
+// slow loop tolerates before frequency offset drifts the sampling phase
+// out of tolerance: drift per bit = FreqOffsetPPM * 1e-6 UI.
+func (c BurstCDR) MaxRunLength() int {
+	driftPerBit := c.FreqOffsetPPM * 1e-6
+	if driftPerBit <= 0 {
+		return math.MaxInt32
+	}
+	margin := 0.5 - c.LockTolerance
+	return int(margin / driftPerBit)
+}
+
+// SupportsCell checks a cell format against the receiver: the
+// acquisition must fit the guard budget and the FEC-scrambled payload's
+// run lengths (bounded by the 8B-coded framing, ~64 bits worst case)
+// must stay within the slow loop's tolerance.
+func (c BurstCDR) SupportsCell(guard units.Time, worstRunBits int) error {
+	if at := c.AcquisitionTime(); at > guard {
+		return fmt.Errorf("timing: CDR acquisition %v exceeds guard %v", at, guard)
+	}
+	if mr := c.MaxRunLength(); worstRunBits > mr {
+		return fmt.Errorf("timing: run length %d exceeds CDR tolerance %d bits", worstRunBits, mr)
+	}
+	return nil
+}
+
+// PhaseTrace simulates acquisition: starting from initial phase error
+// (UI), it returns the per-bit error trajectory over n bits, switching
+// from the fast to the slow constant once within tolerance. Used by
+// tests to validate the analytic AcquisitionBits bound.
+func (c BurstCDR) PhaseTrace(initial float64, n int) []float64 {
+	trace := make([]float64, n)
+	err := initial
+	locked := false
+	drift := c.FreqOffsetPPM * 1e-6
+	for i := 0; i < n; i++ {
+		tau := c.FastTau
+		if locked {
+			tau = c.SlowTau
+		}
+		err = err*math.Exp(-1/tau) + drift
+		if math.Abs(err) <= c.LockTolerance {
+			locked = true
+		}
+		trace[i] = err
+	}
+	return trace
+}

@@ -1,0 +1,138 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+func TestClockTreeBounds(t *testing.T) {
+	ct := DemonstratorClockTree()
+	if ct.WorstCaseSkew() != 3*units.Nanosecond {
+		t.Errorf("worst-case skew %v", ct.WorstCaseSkew())
+	}
+	// RMS jitter of 3 stages at 80 ps each: sqrt(3)*80 ~ 139 ps.
+	if rms := ct.RMSJitter(); rms < 130*units.Picosecond || rms > 150*units.Picosecond {
+		t.Errorf("rms jitter %v", rms)
+	}
+	// Window: 2*200ps static + 6*sqrt2*139ps ~ 400 + 1178 ps ~ 1.6 ns.
+	w := ct.AlignmentWindow()
+	if w < units.Nanosecond || w > 2*units.Nanosecond {
+		t.Errorf("alignment window %v", w)
+	}
+}
+
+func TestAlignerSpreadWithinWindow(t *testing.T) {
+	ct := DemonstratorClockTree()
+	// 64 adapters spread over a 50 m machine room.
+	distances := make([]float64, 64)
+	for i := range distances {
+		distances[i] = 5 + float64(i%23)
+	}
+	a := NewAligner(ct, distances, 1)
+	if err := a.VerifyAlignment(500, 2*units.Nanosecond); err != nil {
+		t.Error(err)
+	}
+	// Propagation delay itself must be fully compensated: with zero
+	// residual and zero jitter, arrivals are exact.
+	perfect := ct
+	perfect.CalibrationResidual = 0
+	perfect.JitterPerLevel = 0
+	p := NewAligner(perfect, distances, 2)
+	if spread := p.MeasureSpread(100); spread != 0 {
+		t.Errorf("perfect calibration still spreads %v", spread)
+	}
+}
+
+func TestAlignerDetectsBadCalibration(t *testing.T) {
+	ct := DemonstratorClockTree()
+	ct.CalibrationResidual = 10 * units.Nanosecond // hopeless calibration
+	a := NewAligner(ct, []float64{5, 50}, 3)
+	if err := a.VerifyAlignment(200, 2*units.Nanosecond); err == nil {
+		t.Error("10 ns residual passed a 2 ns budget")
+	}
+}
+
+func TestGuardBudgetComposition(t *testing.T) {
+	// §IV.C decomposition for the demonstrator: 5 ns SOA + CDR + jitter
+	// must fit the 8 ns guard of the OSMOSIS format.
+	cdr := DemonstratorCDR()
+	ct := DemonstratorClockTree()
+	g := GuardBudget{
+		SOASwitching:   5 * units.Nanosecond,
+		CDRAcquisition: cdr.AcquisitionTime(),
+		ArrivalJitter:  ct.AlignmentWindow(),
+	}
+	format := packet.OSMOSISFormat()
+	if !g.Fits(format.GuardTime) {
+		t.Errorf("guard budget %v (SOA %v + CDR %v + jitter %v) exceeds format guard %v",
+			g.Total(), g.SOASwitching, g.CDRAcquisition, g.ArrivalJitter, format.GuardTime)
+	}
+	// §VII: sub-ns SOAs leave room to shrink the guard strongly.
+	gFast := GuardBudget{
+		SOASwitching:   800 * units.Picosecond,
+		CDRAcquisition: g.CDRAcquisition,
+		ArrivalJitter:  g.ArrivalJitter,
+	}
+	if gFast.Total() >= g.Total() {
+		t.Error("sub-ns SOA should shrink the total budget")
+	}
+}
+
+func TestCDRAcquisition(t *testing.T) {
+	c := DemonstratorCDR()
+	bits := c.AcquisitionBits()
+	if bits <= 0 || bits > 64 {
+		t.Errorf("acquisition bits %d implausible", bits)
+	}
+	// At 40 Gb/s (25 ps/bit) the acquisition must be a sub-ns to few-ns
+	// contribution.
+	at := c.AcquisitionTime()
+	if at <= 0 || at > 3*units.Nanosecond {
+		t.Errorf("acquisition time %v", at)
+	}
+}
+
+func TestCDRTraceMatchesAnalyticBound(t *testing.T) {
+	c := DemonstratorCDR()
+	trace := c.PhaseTrace(0.5, 200)
+	bound := c.AcquisitionBits()
+	// By the analytic bound the error must be within tolerance.
+	if math.Abs(trace[bound]) > c.LockTolerance*1.05 {
+		t.Errorf("phase error %.4f after %d bits, tolerance %.3f",
+			trace[bound], bound, c.LockTolerance)
+	}
+	// And must stay locked afterwards (slow loop rides the drift).
+	for i := bound + 1; i < len(trace); i++ {
+		if math.Abs(trace[i]) > 0.5 {
+			t.Fatalf("lost lock at bit %d", i)
+		}
+	}
+}
+
+func TestCDRRunLengthTolerance(t *testing.T) {
+	c := DemonstratorCDR()
+	// 1 ppm offset and 0.45 UI margin: 450k bits of run tolerance —
+	// far beyond any scrambled/FEC-coded run.
+	if mr := c.MaxRunLength(); mr < 100000 {
+		t.Errorf("max run length %d too small", mr)
+	}
+	if err := c.SupportsCell(packet.OSMOSISFormat().GuardTime, 64); err != nil {
+		t.Errorf("demonstrator cell unsupported: %v", err)
+	}
+	// A huge frequency offset must be rejected.
+	bad := c
+	bad.FreqOffsetPPM = 20000
+	if err := bad.SupportsCell(packet.OSMOSISFormat().GuardTime, 64); err == nil {
+		t.Error("20000 ppm offset accepted")
+	}
+}
+
+func TestCDRSupportsGuard(t *testing.T) {
+	c := DemonstratorCDR()
+	if err := c.SupportsCell(100*units.Picosecond, 64); err == nil {
+		t.Error("0.1 ns guard should be too short for acquisition")
+	}
+}

@@ -1,0 +1,365 @@
+// Package traffic provides the synthetic workload generators used in the
+// paper's delay-versus-throughput studies: Bernoulli uniform arrivals,
+// bursty on/off sources, hotspot and permutation destination patterns,
+// and the bimodal control/data mix the requirements table assumes.
+//
+// Generators are slotted: each ingress port is asked once per packet
+// cycle whether a cell arrived and, if so, for which destination and
+// class. All randomness comes from seeded per-port sim.RNG streams, so
+// workloads are reproducible and independent across ports.
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Arrival describes one generated cell-arrival at an ingress port.
+type Arrival struct {
+	Dst   int
+	Class ClassChoice
+}
+
+// ClassChoice selects the traffic mode of a generated cell.
+type ClassChoice uint8
+
+// Class choices; mirror packet.Class without importing it so the traffic
+// package stays independent of the cell representation.
+const (
+	ClassData ClassChoice = iota
+	ClassControl
+)
+
+// Generator produces arrivals for one ingress port, one slot at a time.
+type Generator interface {
+	// Next reports whether a cell arrives at this port in this slot and,
+	// if so, its destination port and class.
+	Next(slot uint64) (Arrival, bool)
+}
+
+// Pattern chooses a destination for a given source at a given slot.
+type Pattern interface {
+	// Pick returns a destination port in [0, N).
+	Pick(src int, slot uint64, rng *sim.RNG) int
+}
+
+// Uniform spreads destinations uniformly over all ports except the
+// source itself (self-traffic never crosses the fabric).
+type Uniform struct{ N int }
+
+// Pick implements Pattern.
+func (u Uniform) Pick(src int, _ uint64, rng *sim.RNG) int {
+	if u.N <= 1 {
+		return src
+	}
+	d := rng.Intn(u.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Hotspot sends a fraction of traffic to one hot output and spreads the
+// remainder uniformly. It models the overload scenarios used to exercise
+// flow control (§IV.B).
+type Hotspot struct {
+	N        int
+	Hot      int
+	Fraction float64 // fraction of cells aimed at Hot
+}
+
+// Pick implements Pattern.
+func (h Hotspot) Pick(src int, slot uint64, rng *sim.RNG) int {
+	if rng.Bernoulli(h.Fraction) {
+		return h.Hot
+	}
+	return Uniform{h.N}.Pick(src, slot, rng)
+}
+
+// Permutation sends all traffic from port i to a fixed partner, the
+// worst case for schedulers that rely on destination diversity.
+type Permutation struct {
+	Partner []int
+}
+
+// NewShiftPermutation builds the classic shift-by-k permutation.
+func NewShiftPermutation(n, k int) Permutation {
+	p := Permutation{Partner: make([]int, n)}
+	for i := range p.Partner {
+		p.Partner[i] = (i + k) % n
+	}
+	return p
+}
+
+// NewRandomPermutation builds a random permutation with no fixed points
+// where possible (a derangement attempt; falls back after retries).
+func NewRandomPermutation(n int, rng *sim.RNG) Permutation {
+	for try := 0; try < 64; try++ {
+		perm := rng.Perm(n)
+		ok := true
+		for i, v := range perm {
+			if i == v {
+				ok = false
+				break
+			}
+		}
+		if ok || n < 2 {
+			return Permutation{Partner: perm}
+		}
+	}
+	return Permutation{Partner: rng.Perm(n)}
+}
+
+// Pick implements Pattern.
+func (p Permutation) Pick(src int, _ uint64, _ *sim.RNG) int {
+	return p.Partner[src]
+}
+
+// Diagonal concentrates 2/3 of each input's traffic on output i and 1/3
+// on output i+1, a standard non-uniform stress pattern for crossbar
+// schedulers.
+type Diagonal struct{ N int }
+
+// Pick implements Pattern.
+func (d Diagonal) Pick(src int, _ uint64, rng *sim.RNG) int {
+	if rng.Bernoulli(2.0 / 3.0) {
+		return src % d.N
+	}
+	return (src + 1) % d.N
+}
+
+// Bernoulli is an i.i.d. slotted arrival process: in each slot a cell
+// arrives with probability Load, destined per the Pattern.
+type Bernoulli struct {
+	Load         float64
+	ControlShare float64 // fraction of arrivals that are control cells
+	Pattern      Pattern
+	Src          int
+	RNG          *sim.RNG
+}
+
+// NewBernoulli builds a uniform Bernoulli source for one port.
+func NewBernoulli(src, n int, load float64, rng *sim.RNG) *Bernoulli {
+	return &Bernoulli{Load: load, Pattern: Uniform{n}, Src: src, RNG: rng}
+}
+
+// Next implements Generator.
+func (b *Bernoulli) Next(slot uint64) (Arrival, bool) {
+	if !b.RNG.Bernoulli(b.Load) {
+		return Arrival{}, false
+	}
+	a := Arrival{Dst: b.Pattern.Pick(b.Src, slot, b.RNG)}
+	if b.ControlShare > 0 && b.RNG.Bernoulli(b.ControlShare) {
+		a.Class = ClassControl
+	}
+	return a, true
+}
+
+// OnOff is a two-state Markov-modulated source producing the bursty
+// traffic of the Data Vortex comparison literature: in the ON state it
+// emits a cell every slot toward a burst-constant destination; state
+// dwell times are geometric with the given mean burst and idle lengths.
+type OnOff struct {
+	MeanBurst    float64 // mean ON duration in slots (>= 1)
+	Load         float64 // long-run offered load in cells/slot
+	ControlShare float64
+	Pattern      Pattern
+	Src          int
+	RNG          *sim.RNG
+
+	on        bool
+	remaining int
+	burstDst  int
+}
+
+// NewOnOff builds a bursty source with the given mean burst length and
+// long-run load for one port.
+func NewOnOff(src, n int, load, meanBurst float64, rng *sim.RNG) *OnOff {
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	return &OnOff{
+		MeanBurst: meanBurst,
+		Load:      load,
+		Pattern:   Uniform{n},
+		Src:       src,
+		RNG:       rng,
+	}
+}
+
+// meanIdle derives the OFF dwell time that yields the configured load:
+// load = ON / (ON + OFF)  =>  OFF = ON * (1-load)/load.
+func (o *OnOff) meanIdle() float64 {
+	if o.Load >= 1 {
+		return 0
+	}
+	if o.Load <= 0 {
+		return 1e18
+	}
+	return o.MeanBurst * (1 - o.Load) / o.Load
+}
+
+// Next implements Generator.
+func (o *OnOff) Next(slot uint64) (Arrival, bool) {
+	for o.remaining == 0 {
+		o.on = !o.on
+		if o.on {
+			o.remaining = 1 + o.RNG.Geometric(1/o.MeanBurst)
+			o.burstDst = o.Pattern.Pick(o.Src, slot, o.RNG)
+		} else {
+			mi := o.meanIdle()
+			if mi <= 0 {
+				o.on = true
+				o.remaining = 1 + o.RNG.Geometric(1/o.MeanBurst)
+				o.burstDst = o.Pattern.Pick(o.Src, slot, o.RNG)
+				break
+			}
+			o.remaining = 1 + o.RNG.Geometric(1/(1+mi))
+		}
+	}
+	o.remaining--
+	if !o.on {
+		return Arrival{}, false
+	}
+	a := Arrival{Dst: o.burstDst}
+	if o.ControlShare > 0 && o.RNG.Bernoulli(o.ControlShare) {
+		a.Class = ClassControl
+	}
+	return a, true
+}
+
+// Bimodal mixes the paper's two traffic modes explicitly: control cells
+// arrive as a low-rate Bernoulli process while data cells arrive as a
+// (possibly bursty) bulk process. Control cells win ties in the same
+// slot, mirroring strict fabric priority.
+type Bimodal struct {
+	Control *Bernoulli
+	Data    Generator
+}
+
+// NewBimodal builds a bimodal source: dataLoad bulk data plus ctlLoad
+// uniform control traffic for one port.
+func NewBimodal(src, n int, dataLoad, ctlLoad float64, rng *sim.RNG) *Bimodal {
+	ctl := NewBernoulli(src, n, ctlLoad, rng.Fork(1))
+	ctl.ControlShare = 1
+	return &Bimodal{
+		Control: ctl,
+		Data:    NewBernoulli(src, n, dataLoad, rng.Fork(2)),
+	}
+}
+
+// Next implements Generator.
+func (b *Bimodal) Next(slot uint64) (Arrival, bool) {
+	if a, ok := b.Control.Next(slot); ok {
+		return a, true
+	}
+	return b.Data.Next(slot)
+}
+
+// Config names a workload so experiment harnesses can build per-port
+// generator sets uniformly.
+type Config struct {
+	Kind         Kind
+	N            int     // port count
+	Load         float64 // offered load per port, cells/slot
+	ControlShare float64 // fraction of control cells (Bernoulli kinds)
+	MeanBurst    float64 // OnOff mean burst length in slots
+	HotFraction  float64 // Hotspot fraction
+	HotPort      int
+	Shift        int // Shift permutation distance
+	Seed         uint64
+}
+
+// Kind enumerates the built-in workload families.
+type Kind uint8
+
+// Workload families.
+const (
+	KindUniform Kind = iota
+	KindBursty
+	KindHotspot
+	KindPermutation
+	KindDiagonal
+	KindBimodal
+)
+
+// String names the workload kind.
+func (k Kind) String() string {
+	switch k {
+	case KindUniform:
+		return "uniform"
+	case KindBursty:
+		return "bursty"
+	case KindHotspot:
+		return "hotspot"
+	case KindPermutation:
+		return "permutation"
+	case KindDiagonal:
+		return "diagonal"
+	case KindBimodal:
+		return "bimodal"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Build constructs one generator per port for the named workload.
+func Build(cfg Config) ([]Generator, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("traffic: invalid port count %d", cfg.N)
+	}
+	if cfg.Load < 0 || cfg.Load > 1 {
+		return nil, fmt.Errorf("traffic: load %v out of [0,1]", cfg.Load)
+	}
+	root := sim.NewRNG(cfg.Seed)
+	gens := make([]Generator, cfg.N)
+	var perm Permutation
+	if cfg.Kind == KindPermutation {
+		if cfg.Shift != 0 {
+			perm = NewShiftPermutation(cfg.N, cfg.Shift)
+		} else {
+			perm = NewRandomPermutation(cfg.N, root.Fork(9999))
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		rng := root.Fork(uint64(i) + 1)
+		switch cfg.Kind {
+		case KindUniform:
+			b := NewBernoulli(i, cfg.N, cfg.Load, rng)
+			b.ControlShare = cfg.ControlShare
+			gens[i] = b
+		case KindBursty:
+			mb := cfg.MeanBurst
+			if mb == 0 {
+				mb = 16
+			}
+			gens[i] = NewOnOff(i, cfg.N, cfg.Load, mb, rng)
+		case KindHotspot:
+			b := NewBernoulli(i, cfg.N, cfg.Load, rng)
+			frac := cfg.HotFraction
+			if frac == 0 {
+				frac = 0.5
+			}
+			b.Pattern = Hotspot{N: cfg.N, Hot: cfg.HotPort, Fraction: frac}
+			gens[i] = b
+		case KindPermutation:
+			b := NewBernoulli(i, cfg.N, cfg.Load, rng)
+			b.Pattern = perm
+			gens[i] = b
+		case KindDiagonal:
+			b := NewBernoulli(i, cfg.N, cfg.Load, rng)
+			b.Pattern = Diagonal{cfg.N}
+			gens[i] = b
+		case KindBimodal:
+			cs := cfg.ControlShare
+			if cs == 0 {
+				cs = 0.05
+			}
+			gens[i] = NewBimodal(i, cfg.N, cfg.Load*(1-cs), cfg.Load*cs, rng)
+		default:
+			return nil, fmt.Errorf("traffic: unknown kind %v", cfg.Kind)
+		}
+	}
+	return gens, nil
+}

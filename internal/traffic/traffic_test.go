@@ -1,0 +1,235 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func measureLoad(t *testing.T, g Generator, slots int) float64 {
+	t.Helper()
+	n := 0
+	for s := 0; s < slots; s++ {
+		if _, ok := g.Next(uint64(s)); ok {
+			n++
+		}
+	}
+	return float64(n) / float64(slots)
+}
+
+func TestBernoulliLoad(t *testing.T) {
+	for _, load := range []float64{0.1, 0.5, 0.9} {
+		g := NewBernoulli(0, 64, load, sim.NewRNG(1))
+		got := measureLoad(t, g, 200000)
+		if math.Abs(got-load) > 0.01 {
+			t.Errorf("load %v: measured %v", load, got)
+		}
+	}
+}
+
+func TestUniformExcludesSelf(t *testing.T) {
+	u := Uniform{N: 16}
+	rng := sim.NewRNG(2)
+	counts := make([]int, 16)
+	for i := 0; i < 60000; i++ {
+		d := u.Pick(7, 0, rng)
+		if d == 7 {
+			t.Fatal("uniform pattern picked self")
+		}
+		counts[d]++
+	}
+	want := 60000.0 / 15
+	for d, c := range counts {
+		if d == 7 {
+			continue
+		}
+		if math.Abs(float64(c)-want)/want > 0.08 {
+			t.Errorf("destination %d: %d draws, want ~%.0f", d, c, want)
+		}
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	h := Hotspot{N: 32, Hot: 3, Fraction: 0.5}
+	rng := sim.NewRNG(3)
+	hot := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if h.Pick(9, 0, rng) == 3 {
+			hot++
+		}
+	}
+	// 50% direct plus uniform residue hitting the hot port ~1/31.
+	want := 0.5 + 0.5/31
+	if got := float64(hot) / draws; math.Abs(got-want) > 0.01 {
+		t.Errorf("hot fraction %v want ~%v", got, want)
+	}
+}
+
+func TestShiftPermutation(t *testing.T) {
+	p := NewShiftPermutation(8, 3)
+	for i := 0; i < 8; i++ {
+		if got := p.Pick(i, 0, nil); got != (i+3)%8 {
+			t.Errorf("shift perm: src %d -> %d", i, got)
+		}
+	}
+}
+
+func TestRandomPermutationProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%31) + 2
+		p := NewRandomPermutation(n, sim.NewRNG(seed))
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			d := p.Partner[i]
+			if d < 0 || d >= n || seen[d] {
+				return false
+			}
+			seen[d] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomPermutationAvoidsFixedPoints(t *testing.T) {
+	p := NewRandomPermutation(16, sim.NewRNG(5))
+	for i, v := range p.Partner {
+		if i == v {
+			t.Errorf("fixed point at %d", i)
+		}
+	}
+}
+
+func TestDiagonalDistribution(t *testing.T) {
+	d := Diagonal{N: 8}
+	rng := sim.NewRNG(7)
+	self, next := 0, 0
+	const draws = 90000
+	for i := 0; i < draws; i++ {
+		switch d.Pick(2, 0, rng) {
+		case 2:
+			self++
+		case 3:
+			next++
+		default:
+			t.Fatal("diagonal picked an invalid destination")
+		}
+	}
+	if got := float64(self) / draws; math.Abs(got-2.0/3) > 0.01 {
+		t.Errorf("diagonal 2/3 share: %v", got)
+	}
+	if got := float64(next) / draws; math.Abs(got-1.0/3) > 0.01 {
+		t.Errorf("diagonal 1/3 share: %v", got)
+	}
+}
+
+func TestOnOffLoadAndBurstiness(t *testing.T) {
+	g := NewOnOff(0, 64, 0.5, 16, sim.NewRNG(11))
+	const slots = 400000
+	arrivals := 0
+	runs, runLen := 0, 0
+	lastDst, inRun := -1, false
+	for s := 0; s < slots; s++ {
+		a, ok := g.Next(uint64(s))
+		if ok {
+			arrivals++
+			if !inRun || a.Dst != lastDst {
+				runs++
+				inRun = true
+				lastDst = a.Dst
+			}
+			runLen++
+		} else {
+			inRun = false
+		}
+	}
+	load := float64(arrivals) / slots
+	if math.Abs(load-0.5) > 0.03 {
+		t.Errorf("on/off long-run load %v want 0.5", load)
+	}
+	meanRun := float64(runLen) / float64(runs)
+	if meanRun < 8 {
+		t.Errorf("mean burst run %v, want >> 1 for bursty traffic", meanRun)
+	}
+}
+
+func TestBimodalClasses(t *testing.T) {
+	b := NewBimodal(0, 64, 0.6, 0.05, sim.NewRNG(13))
+	ctl, data := 0, 0
+	const slots = 200000
+	for s := 0; s < slots; s++ {
+		if a, ok := b.Next(uint64(s)); ok {
+			if a.Class == ClassControl {
+				ctl++
+			} else {
+				data++
+			}
+		}
+	}
+	if got := float64(ctl) / slots; math.Abs(got-0.05) > 0.005 {
+		t.Errorf("control load %v want 0.05", got)
+	}
+	if got := float64(data) / slots; math.Abs(got-0.6*0.95) > 0.02 {
+		t.Errorf("data load %v", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{Kind: KindUniform, N: 0, Load: 0.5}); err == nil {
+		t.Error("zero ports accepted")
+	}
+	if _, err := Build(Config{Kind: KindUniform, N: 4, Load: 1.5}); err == nil {
+		t.Error("load > 1 accepted")
+	}
+	if _, err := Build(Config{Kind: Kind(99), N: 4, Load: 0.5}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestBuildAllKinds(t *testing.T) {
+	for _, k := range []Kind{KindUniform, KindBursty, KindHotspot, KindPermutation, KindDiagonal, KindBimodal} {
+		gens, err := Build(Config{Kind: k, N: 8, Load: 0.5, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if len(gens) != 8 {
+			t.Fatalf("%v: %d generators", k, len(gens))
+		}
+		// Every generator must produce valid destinations.
+		for src, g := range gens {
+			for s := 0; s < 1000; s++ {
+				if a, ok := g.Next(uint64(s)); ok {
+					if a.Dst < 0 || a.Dst >= 8 {
+						t.Fatalf("%v: src %d emitted dst %d", k, src, a.Dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	cfg := Config{Kind: KindBursty, N: 4, Load: 0.7, Seed: 42}
+	g1, _ := Build(cfg)
+	g2, _ := Build(cfg)
+	for s := 0; s < 5000; s++ {
+		for i := range g1 {
+			a1, ok1 := g1[i].Next(uint64(s))
+			a2, ok2 := g2[i].Next(uint64(s))
+			if ok1 != ok2 || a1 != a2 {
+				t.Fatalf("same seed diverged at slot %d port %d", s, i)
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindUniform.String() != "uniform" || KindBimodal.String() != "bimodal" {
+		t.Error("kind names wrong")
+	}
+}

@@ -1,0 +1,222 @@
+// Package voq implements the electronic buffering around the bufferless
+// optical crossbar: per-input Virtual Output Queues with two strict
+// priority classes (control before data), ingress adapters that turn
+// arrivals into scheduler requests, and egress queues fed by one or two
+// receivers per port (§V dual-receiver architecture).
+//
+// VOQs are the paper's central architectural consequence: an optical
+// packet switch has no internal buffers, so it is an input-queued switch
+// and needs VOQs to defeat head-of-line blocking (§III, [17]).
+package voq
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// FIFO is a simple cell queue with O(1) amortized push/pop.
+type FIFO struct {
+	cells []*packet.Cell
+	head  int
+}
+
+// Len reports the number of queued cells.
+func (f *FIFO) Len() int { return len(f.cells) - f.head }
+
+// Push appends a cell.
+func (f *FIFO) Push(c *packet.Cell) { f.cells = append(f.cells, c) }
+
+// Pop removes and returns the oldest cell, or nil if empty.
+func (f *FIFO) Pop() *packet.Cell {
+	if f.Len() == 0 {
+		return nil
+	}
+	c := f.cells[f.head]
+	f.cells[f.head] = nil
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.cells) {
+		n := copy(f.cells, f.cells[f.head:])
+		f.cells = f.cells[:n]
+		f.head = 0
+	}
+	return c
+}
+
+// Peek returns the oldest cell without removing it, or nil.
+func (f *FIFO) Peek() *packet.Cell {
+	if f.Len() == 0 {
+		return nil
+	}
+	return f.cells[f.head]
+}
+
+// VOQSet is the virtual-output-queue array of one ingress adapter:
+// one queue per (output, class).
+type VOQSet struct {
+	n int
+	// queues[class][output]
+	queues [2][]FIFO
+	// committed[output] counts cells already promised to in-flight
+	// pipelined matchings and not yet transmitted; pipelined schedulers
+	// must not double-request them.
+	committed []int
+	depth     int // total cells across all queues
+}
+
+// NewVOQSet creates VOQs for a switch with n outputs.
+func NewVOQSet(n int) *VOQSet {
+	v := &VOQSet{n: n, committed: make([]int, n)}
+	v.queues[0] = make([]FIFO, n)
+	v.queues[1] = make([]FIFO, n)
+	return v
+}
+
+// N reports the output count.
+func (v *VOQSet) N() int { return v.n }
+
+// Push enqueues a cell toward its destination queue.
+func (v *VOQSet) Push(c *packet.Cell, out int) {
+	v.queues[classIndex(c.Class)][out].Push(c)
+	v.depth++
+}
+
+// Backlog reports queued cells for an output across both classes.
+func (v *VOQSet) Backlog(out int) int {
+	return v.queues[0][out].Len() + v.queues[1][out].Len()
+}
+
+// Uncommitted reports cells for an output not yet promised to an
+// in-flight matching; this is what a pipelined scheduler may request.
+func (v *VOQSet) Uncommitted(out int) int {
+	u := v.Backlog(out) - v.committed[out]
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// Commit records that one more cell for out has been promised a grant.
+func (v *VOQSet) Commit(out int) { v.committed[out]++ }
+
+// Uncommit releases a promise (e.g. a matching slot went unused).
+func (v *VOQSet) Uncommit(out int) {
+	if v.committed[out] > 0 {
+		v.committed[out]--
+	}
+}
+
+// Pop dequeues the next cell for out, control class first (strict
+// priority, §IV), also releasing one commitment if any.
+func (v *VOQSet) Pop(out int) *packet.Cell {
+	var c *packet.Cell
+	if v.queues[1][out].Len() > 0 {
+		c = v.queues[1][out].Pop()
+	} else {
+		c = v.queues[0][out].Pop()
+	}
+	if c != nil {
+		v.depth--
+		if v.committed[out] > 0 {
+			v.committed[out]--
+		}
+	}
+	return c
+}
+
+// Depth reports total cells queued across all outputs and classes.
+func (v *VOQSet) Depth() int { return v.depth }
+
+// HeadWait reports the age of the oldest head-of-line cell for out, or
+// zero when empty; schedulers may use it for longest-wait policies.
+func (v *VOQSet) HeadWait(out int, now units.Time) units.Time {
+	var oldest *packet.Cell
+	if c := v.queues[1][out].Peek(); c != nil {
+		oldest = c
+	}
+	if c := v.queues[0][out].Peek(); c != nil && (oldest == nil || c.Injected < oldest.Injected) {
+		oldest = c
+	}
+	if oldest == nil {
+		return 0
+	}
+	return now - oldest.Injected
+}
+
+func classIndex(c packet.Class) int {
+	if c == packet.Control {
+		return 1
+	}
+	return 0
+}
+
+// Egress models one output adapter: up to Receivers cells may arrive per
+// slot from the crossbar (the dual-receiver broadcast-and-select option
+// gives two paths per output), queue them, and drain exactly one cell
+// per slot onto the output line.
+type Egress struct {
+	// Receivers is the number of simultaneously usable receive paths.
+	Receivers int
+	// Capacity bounds the egress queue; zero means unbounded. When the
+	// queue is full the egress withholds credits (remote flow control).
+	Capacity int
+
+	q        FIFO
+	received uint64
+	drained  uint64
+}
+
+// NewEgress creates an egress adapter with r receivers.
+func NewEgress(r, capacity int) *Egress {
+	if r < 1 {
+		r = 1
+	}
+	return &Egress{Receivers: r, Capacity: capacity}
+}
+
+// SlotBudget reports how many cells the egress can accept this slot,
+// respecting both receiver count and remaining queue space.
+func (e *Egress) SlotBudget() int {
+	b := e.Receivers
+	if e.Capacity > 0 {
+		room := e.Capacity - e.q.Len()
+		if room < b {
+			b = room
+		}
+	}
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Receive accepts a cell from the crossbar.
+func (e *Egress) Receive(c *packet.Cell) {
+	e.q.Push(c)
+	e.received++
+}
+
+// Drain removes the cell to transmit on the output line this slot, or
+// nil when idle.
+func (e *Egress) Drain() *packet.Cell {
+	c := e.q.Pop()
+	if c != nil {
+		e.drained++
+	}
+	return c
+}
+
+// Queued reports the egress queue occupancy.
+func (e *Egress) Queued() int { return e.q.Len() }
+
+// Received reports total cells accepted from the crossbar.
+func (e *Egress) Received() uint64 { return e.received }
+
+// Drained reports total cells put on the line.
+func (e *Egress) Drained() uint64 { return e.drained }
+
+// String summarizes the egress state.
+func (e *Egress) String() string {
+	return fmt.Sprintf("egress{rx=%d q=%d drained=%d}", e.received, e.q.Len(), e.drained)
+}

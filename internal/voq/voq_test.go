@@ -1,0 +1,176 @@
+package voq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	var f FIFO
+	if f.Pop() != nil || f.Peek() != nil {
+		t.Error("empty FIFO should return nil")
+	}
+	cells := make([]*packet.Cell, 200)
+	for i := range cells {
+		cells[i] = &packet.Cell{ID: uint64(i)}
+		f.Push(cells[i])
+	}
+	if f.Len() != 200 {
+		t.Errorf("len %d", f.Len())
+	}
+	for i := range cells {
+		if got := f.Pop(); got != cells[i] {
+			t.Fatalf("pop %d: got %v", i, got)
+		}
+	}
+}
+
+func TestFIFOCompaction(t *testing.T) {
+	var f FIFO
+	// Interleave pushes and pops to force head compaction.
+	next, want := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 10; i++ {
+			f.Push(&packet.Cell{ID: uint64(next)})
+			next++
+		}
+		for i := 0; i < 10; i++ {
+			c := f.Pop()
+			if c == nil || c.ID != uint64(want) {
+				t.Fatalf("round %d: got %v want %d", round, c, want)
+			}
+			want++
+		}
+	}
+	if f.Len() != 0 {
+		t.Errorf("len %d after drain", f.Len())
+	}
+}
+
+func TestVOQPriority(t *testing.T) {
+	v := NewVOQSet(4)
+	d := &packet.Cell{ID: 1, Class: packet.Data}
+	c := &packet.Cell{ID: 2, Class: packet.Control}
+	v.Push(d, 2)
+	v.Push(c, 2)
+	if got := v.Pop(2); got != c {
+		t.Errorf("control must pop first, got %v", got)
+	}
+	if got := v.Pop(2); got != d {
+		t.Errorf("then data, got %v", got)
+	}
+}
+
+func TestVOQBacklogAndDepth(t *testing.T) {
+	v := NewVOQSet(4)
+	v.Push(&packet.Cell{}, 0)
+	v.Push(&packet.Cell{}, 0)
+	v.Push(&packet.Cell{Class: packet.Control}, 3)
+	if v.Backlog(0) != 2 || v.Backlog(3) != 1 || v.Backlog(1) != 0 {
+		t.Errorf("backlogs %d/%d/%d", v.Backlog(0), v.Backlog(3), v.Backlog(1))
+	}
+	if v.Depth() != 3 {
+		t.Errorf("depth %d", v.Depth())
+	}
+	v.Pop(0)
+	if v.Depth() != 2 {
+		t.Errorf("depth after pop %d", v.Depth())
+	}
+}
+
+func TestVOQCommitAccounting(t *testing.T) {
+	v := NewVOQSet(2)
+	v.Push(&packet.Cell{}, 1)
+	v.Push(&packet.Cell{}, 1)
+	if v.Uncommitted(1) != 2 {
+		t.Errorf("uncommitted %d", v.Uncommitted(1))
+	}
+	v.Commit(1)
+	if v.Uncommitted(1) != 1 {
+		t.Errorf("after commit: %d", v.Uncommitted(1))
+	}
+	v.Commit(1)
+	v.Commit(1) // over-commit beyond backlog
+	if v.Uncommitted(1) != 0 {
+		t.Errorf("over-committed should clamp at 0, got %d", v.Uncommitted(1))
+	}
+	v.Uncommit(1)
+	v.Pop(1) // pop releases one commitment too
+	if v.Uncommitted(1) != 0 {
+		t.Errorf("after pop: %d", v.Uncommitted(1))
+	}
+}
+
+func TestVOQCommitNeverExceedsBacklogProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		v := NewVOQSet(3)
+		for _, op := range ops {
+			out := int(op) % 3
+			switch (op / 3) % 4 {
+			case 0:
+				v.Push(&packet.Cell{}, out)
+			case 1:
+				if v.Uncommitted(out) > 0 {
+					v.Commit(out)
+				}
+			case 2:
+				v.Pop(out)
+			case 3:
+				v.Uncommit(out)
+			}
+			if v.Uncommitted(out) < 0 || v.Uncommitted(out) > v.Backlog(out) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEgressBudgetAndDrain(t *testing.T) {
+	e := NewEgress(2, 3)
+	if e.SlotBudget() != 2 {
+		t.Errorf("budget %d", e.SlotBudget())
+	}
+	e.Receive(&packet.Cell{ID: 1})
+	e.Receive(&packet.Cell{ID: 2})
+	if e.SlotBudget() != 1 {
+		t.Errorf("budget with 1 slot left: %d", e.SlotBudget())
+	}
+	e.Receive(&packet.Cell{ID: 3})
+	if e.SlotBudget() != 0 {
+		t.Errorf("budget when full: %d", e.SlotBudget())
+	}
+	if c := e.Drain(); c == nil || c.ID != 1 {
+		t.Errorf("drain order wrong: %v", c)
+	}
+	if e.Received() != 3 || e.Drained() != 1 || e.Queued() != 2 {
+		t.Errorf("counters rx=%d drained=%d q=%d", e.Received(), e.Drained(), e.Queued())
+	}
+}
+
+func TestEgressUnbounded(t *testing.T) {
+	e := NewEgress(1, 0)
+	for i := 0; i < 100; i++ {
+		e.Receive(&packet.Cell{})
+	}
+	if e.SlotBudget() != 1 {
+		t.Errorf("unbounded egress budget %d", e.SlotBudget())
+	}
+}
+
+func TestHeadWait(t *testing.T) {
+	v := NewVOQSet(2)
+	if v.HeadWait(0, 100) != 0 {
+		t.Error("empty queue should report zero wait")
+	}
+	v.Push(&packet.Cell{Injected: 10}, 0)
+	v.Push(&packet.Cell{Injected: 20}, 0)
+	if got := v.HeadWait(0, 50); got != 40 {
+		t.Errorf("head wait %v", got)
+	}
+}
