@@ -1,0 +1,26 @@
+# Tier-1 verification entry point. `make verify` is what CI runs
+# (minus -race, which CI adds as a separate job) and what every PR must
+# keep green: build, vet, the full test suite (which self-hosts the
+# linter via internal/analysis), and an explicit osmosislint pass.
+
+GO ?= go
+
+.PHONY: build vet test race lint verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/osmosislint ./...
+
+verify: build vet test lint
+	@echo "verify: OK"

@@ -1,0 +1,90 @@
+// Command osmosislint runs the repository's domain-specific static
+// analyzers (determinism, unitsafety, panicfree, errcheck) over module
+// packages and exits nonzero on any finding.
+//
+// Usage:
+//
+//	osmosislint [-analyzers list] [packages ...]
+//
+// Package patterns are directories relative to the module root, with
+// "/..." expanding to a subtree; the default is "./...". Findings are
+// printed one per line as path:line:col: analyzer: message. Suppress an
+// individual finding with a comment on the same or preceding line:
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	analyzerList := flag.String("analyzers", "",
+		"comma-separated analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := analysis.ByName(*analyzerList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	var findings int
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunAnalyzers(pkg, analyzers) {
+			findings++
+			fmt.Println(relativize(cwd, d))
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "osmosislint: %d finding(s) across %d package(s)\n", findings, len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// relativize shortens the diagnostic's file path relative to cwd for
+// readable, clickable output.
+func relativize(cwd string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(cwd, d.Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Position.Filename = rel
+	}
+	return d.String()
+}

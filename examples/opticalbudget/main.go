@@ -46,7 +46,7 @@ func main() {
 	m := optics.NewXGMModel()
 	fmt.Println("XGM saturation (Fig. 10): OSNR penalty (dB) vs SOA input power")
 	fmt.Printf("%8s  %12s  %12s  %12s  %12s\n", "pin_dBm", "NRZ@1e-6", "NRZ@1e-10", "DPSK@1e-6", "DPSK@1e-10")
-	for pin := units.DBm(0); pin <= 20; pin += 4 {
+	for pin := units.DBm(0); pin <= units.DBm(20); pin += units.DBm(4) {
 		fmt.Printf("%8.0f  %12.3f  %12.3f  %12.3f  %12.3f\n", float64(pin),
 			float64(m.Penalty(optics.NRZ, optics.BER1e6, pin)),
 			float64(m.Penalty(optics.NRZ, optics.BER1e10, pin)),

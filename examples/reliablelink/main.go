@@ -62,7 +62,9 @@ func main() {
 	rng := sim.NewRNG(4)
 	for cycle := 0; cycle < 5000; cycle++ {
 		if rng.Bernoulli(0.6) {
-			cc.Enqueue(rng.Intn(8), 1)
+			if err := cc.Enqueue(rng.Intn(8), 1); err != nil {
+				log.Fatal(err)
+			}
 		}
 		cc.CycleRequest()
 		for out := 0; out < 8; out++ {

@@ -51,7 +51,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			m := sw.Run(gens, 1500, 6000)
+			m, err := sw.Run(gens, 1500, 6000)
+			if err != nil {
+				log.Fatal(err)
+			}
 			if c.oq {
 				fmt.Printf("  %7.2f   ", m.MeanLatencySlots())
 			} else {

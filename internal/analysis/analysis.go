@@ -1,0 +1,222 @@
+// Package analysis is a pure-stdlib static-analysis framework with
+// domain-specific analyzers that machine-check the simulator's core
+// promises: bit-reproducible discrete-event runs (determinism), exact
+// picosecond accounting through units.Time (unitsafety), library code
+// that reports failures as errors rather than panics (panicfree), and
+// no silently dropped error values (errcheck).
+//
+// The framework deliberately avoids golang.org/x/tools: packages are
+// loaded with go/parser, type-checked with go/types, and stdlib
+// dependencies are resolved by the go/importer source importer, so the
+// linter builds with nothing beyond the standard library.
+//
+// Diagnostics can be suppressed at a specific site with a comment on
+// the same line or the line directly above:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory; an ignore directive without one is itself
+// reported. Suppressions are how the tree documents the few deliberate
+// exceptions (e.g. kernel invariant panics) while everything else is
+// machine-enforced.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description for -help output.
+	Doc string
+	// Run inspects the package via pass and reports findings.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package's parsed and type-checked state to an
+// analyzer, plus the Report sink for diagnostics.
+type Pass struct {
+	// Fset resolves token.Pos values for every file in the package.
+	Fset *token.FileSet
+	// PkgPath is the import path (e.g. "repro/internal/sim").
+	PkgPath string
+	// Files are the package's non-test syntax trees.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression and object maps.
+	TypesInfo *types.Info
+
+	analyzer *Analyzer
+	report   func(d Diagnostic)
+}
+
+// Reportf records a diagnostic at pos under the running analyzer's name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String formats the diagnostic as path:line:col: analyzer: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+}
+
+// All returns the framework's analyzers in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, UnitSafety, PanicFree, ErrCheck}
+}
+
+// ByName resolves a comma-separated analyzer list ("" means all).
+func ByName(list string) ([]*Analyzer, error) {
+	if list == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// surviving diagnostics: suppressed findings are removed, and malformed
+// or reasonless ignore directives are reported as findings themselves.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	sup, bad := collectSuppressions(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:      pkg.Fset,
+			PkgPath:   pkg.Path,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			analyzer:  a,
+			report: func(d Diagnostic) {
+				if !sup.suppresses(d) {
+					diags = append(diags, d)
+				}
+			},
+		}
+		a.Run(pass)
+	}
+	diags = append(diags, bad...)
+	Sort(diags)
+	return diags
+}
+
+// Sort orders diagnostics by file, line, column, analyzer, message.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ignoreDirective is the comment prefix for site-local suppressions.
+const ignoreDirective = "//lint:ignore"
+
+// suppressionKey identifies a (file, line, analyzer) suppression site.
+type suppressionKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type suppressions map[suppressionKey]bool
+
+// suppresses reports whether d is covered by an ignore directive on the
+// same line or the line directly above it.
+func (s suppressions) suppresses(d Diagnostic) bool {
+	for _, line := range []int{d.Position.Line, d.Position.Line - 1} {
+		if s[suppressionKey{d.Position.Filename, line, d.Analyzer}] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment for ignore directives. A
+// directive names one or more analyzers and must carry a reason;
+// malformed directives come back as diagnostics so typos cannot
+// silently disable a check.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintdirective",
+						Position: pos,
+						Message:  "malformed ignore: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if !known[name] {
+						bad = append(bad, Diagnostic{
+							Analyzer: "lintdirective",
+							Position: pos,
+							Message:  fmt.Sprintf("ignore names unknown analyzer %q", name),
+						})
+						continue
+					}
+					sup[suppressionKey{pos.Filename, pos.Line, name}] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}

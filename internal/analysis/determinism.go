@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// determinismScope lists the package subtrees whose iteration order and
+// entropy sources feed event ordering or aggregated experiment results.
+// Simulation output from these packages must be bit-reproducible.
+var determinismScope = []string{
+	"internal/sim",
+	"internal/sched",
+	"internal/crossbar",
+	"internal/experiments",
+}
+
+// randConstructors are the math/rand identifiers that build explicitly
+// seeded sources; they are deterministic and therefore allowed.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Determinism flags the three ways nondeterminism leaks into the
+// simulation core: wall-clock reads (time.Now), the implicitly seeded
+// global math/rand source, and ranging over maps (whose iteration order
+// varies run to run). Map iteration must go through sorted keys; random
+// draws must come from an explicitly seeded source (internal/sim.RNG).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock reads, global math/rand, and map iteration in simulation-ordering code",
+	Run:  runDeterminism,
+}
+
+// inScope reports whether pkgPath falls under one of the subtrees.
+func inScope(pkgPath string, subtrees []string) bool {
+	for _, s := range subtrees {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) ||
+			strings.Contains(pkgPath, "/"+s+"/") || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runDeterminism(pass *Pass) {
+	if !inScope(pass.PkgPath, determinismScope) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj := pass.TypesInfo.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if obj.Name() == "Now" {
+						pass.Reportf(n.Pos(),
+							"time.Now reads the wall clock; simulation time must come from the kernel (units.Time)")
+					}
+				case "math/rand", "math/rand/v2":
+					// Methods on an explicitly constructed source
+					// (*rand.Rand) are fine; only the implicitly seeded
+					// package-level functions are flagged.
+					fn, isFunc := obj.(*types.Func)
+					if isFunc && fn.Type().(*types.Signature).Recv() == nil &&
+						!randConstructors[obj.Name()] {
+						pass.Reportf(n.Pos(),
+							"global math/rand (%s.%s) is not reproducibly seeded; use an explicitly seeded source (internal/sim RNG)",
+							obj.Pkg().Name(), obj.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"range over map (%s) has nondeterministic iteration order; iterate over sorted keys", t)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck flags call statements that silently drop an error result.
+// A reliability-focused simulator cannot afford ignored encode/decode
+// or configuration errors: a dropped error either masks a broken run
+// or hides a failure path that should be modeled. Writes that cannot
+// fail by contract are exempt: the fmt package (terminal/report
+// output), and the always-nil Write/WriteString family on
+// bytes.Buffer, strings.Builder, and hash.Hash.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flag dropped error return values",
+	Run:  runErrCheck,
+}
+
+// errcheckExemptRecvs are receiver types whose error results are
+// documented to always be nil.
+var errcheckExemptRecvs = []string{"bytes.Buffer", "strings.Builder", "hash.Hash"}
+
+// returnsError reports whether the call's result tuple includes error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// exemptCall reports whether the callee is documented never to return a
+// non-nil error.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "fmt" {
+		return true
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		recv := s.Recv().String()
+		for _, exempt := range errcheckExemptRecvs {
+			if strings.Contains(recv, exempt) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeName renders a short name for diagnostics.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+func runErrCheck(pass *Pass) {
+	check := func(call *ast.CallExpr) {
+		// A type conversion is not a call and carries no error.
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return
+		}
+		if !returnsError(pass, call) || exemptCall(pass, call) {
+			return
+		}
+		pass.Reportf(call.Pos(), "error result of %s is dropped; handle it or assign it explicitly", calleeName(call))
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call)
+				}
+			case *ast.DeferStmt:
+				check(n.Call)
+			case *ast.GoStmt:
+				check(n.Call)
+			}
+			return true
+		})
+	}
+}

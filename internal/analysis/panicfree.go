@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicFree keeps internal/ library code panic-free: failures must
+// surface as returned errors so a long simulation campaign can report
+// and continue rather than crash. Panics are permitted only in
+// documented Must*/must* helpers (whose name announces the contract)
+// and in init functions (where there is no caller to return to). The
+// handful of genuine can-never-happen kernel invariants keep their
+// panic with an explicit //lint:ignore panicfree <reason> directive, so
+// every remaining panic in the tree is individually justified.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "flag panic calls in internal library code outside Must* helpers and init",
+	Run:  runPanicFree,
+}
+
+func runPanicFree(pass *Pass) {
+	if !strings.Contains(pass.PkgPath+"/", "/internal/") {
+		return
+	}
+	isPanic := func(call *ast.CallExpr) bool {
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return false
+		}
+		b, ok := obj.(*types.Builtin)
+		return ok && b.Name() == "panic"
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			if name == "init" || strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if ok && isPanic(call) {
+					pass.Reportf(call.Pos(),
+						"panic in library function %s; return an error, move the assertion into a Must* helper, or document the invariant with a lint:ignore",
+						name)
+				}
+				return true
+			})
+		}
+	}
+}

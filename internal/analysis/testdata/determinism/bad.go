@@ -1,0 +1,28 @@
+// Package fixture seeds determinism violations: wall-clock reads,
+// global math/rand draws, and map iteration feeding results.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want:determinism "time.Now"
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want:determinism "math/rand"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want:determinism "math/rand"
+}
+
+func mapOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want:determinism "range over map"
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// seededRand draws from an explicitly seeded source: reproducible.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// sortedIteration shows the required pattern: collect keys, sort, index.
+func sortedIteration(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m { //lint:ignore determinism keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// sliceIteration is ordered by construction.
+func sliceIteration(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,22 @@
+// Package fixture seeds errcheck violations: call statements that
+// silently drop an error result.
+package fixture
+
+import (
+	"errors"
+	"os"
+)
+
+var errBoom = errors.New("boom")
+
+func fallible() error { return errBoom }
+
+func pair() (int, error) { return 0, errBoom }
+
+func drops() {
+	fallible()       // want:errcheck "error result of fallible is dropped"
+	pair()           // want:errcheck "error result of pair is dropped"
+	os.Remove("x")   // want:errcheck "error result of Remove is dropped"
+	defer fallible() // want:errcheck "error result of fallible is dropped"
+	go fallible()    // want:errcheck "error result of fallible is dropped"
+}

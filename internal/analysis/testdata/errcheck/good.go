@@ -1,0 +1,29 @@
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func ok() error { return nil }
+
+func handled() error {
+	// Checked and explicitly discarded errors are fine.
+	if err := ok(); err != nil {
+		return err
+	}
+	_ = ok()
+	// The fmt package (terminal/report output) is exempt.
+	fmt.Println("reporting")
+	fmt.Fprintf(os.Stderr, "also exempt: %d\n", 1)
+	// Writers documented to always return a nil error are exempt.
+	var b bytes.Buffer
+	b.WriteString("always nil")
+	var sb strings.Builder
+	sb.WriteString("always nil")
+	// Calls without an error result are fine.
+	sb.Len()
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package fixture seeds panicfree violations: panics in ordinary
+// library functions that should return errors instead.
+package fixture
+
+func parse(s string) (int, error) {
+	if s == "" {
+		panic("fixture: empty input") // want:panicfree "panic in library function"
+	}
+	return len(s), nil
+}
+
+func (v vec) at(i int) float64 {
+	if i >= len(v) {
+		panic("fixture: index out of range") // want:panicfree "panic in library function"
+	}
+	return v[i]
+}
+
+type vec []float64

@@ -1,0 +1,34 @@
+package fixture
+
+var defaults = mustBuild()
+
+// init-time panics are allowed: there is no caller to return to and a
+// failure here is caught by the cheapest smoke test.
+func init() {
+	if len(defaults) == 0 {
+		panic("fixture: empty defaults")
+	}
+}
+
+// MustParse panics on malformed input; the Must prefix announces the
+// contract, for compile-time-constant arguments only.
+func MustParse(s string) int {
+	if s == "" {
+		panic("fixture: empty input")
+	}
+	return len(s)
+}
+
+// mustBuild is the unexported spelling of the same contract.
+func mustBuild() []string {
+	return []string{"a"}
+}
+
+// documented keeps a panic behind an explicit justification.
+func documented(s string) int {
+	if s == "" {
+		//lint:ignore panicfree fixture demonstrating a documented invariant
+		panic("fixture: impossible by construction")
+	}
+	return len(s)
+}

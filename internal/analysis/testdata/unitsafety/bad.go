@@ -1,0 +1,39 @@
+// Package fixture seeds unit-safety violations: raw literals mixed
+// into units arithmetic and math.MaxInt64 standing in for Infinity.
+package fixture
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+func deadline(t units.Time) units.Time {
+	return t + 5 // want:unitsafety "raw literal 5"
+}
+
+func tooSoon(t units.Time) bool {
+	return t < 100 // want:unitsafety "raw literal 100"
+}
+
+func drainGuard(t units.Time) units.Time {
+	t -= 3 // want:unitsafety "raw literal 3"
+	return t
+}
+
+func attenuate(g units.DB) units.DB {
+	return g - 1.5 // want:unitsafety "raw literal 1.5"
+}
+
+func loadStep(p units.DBm) units.DBm {
+	p += 2 // want:unitsafety "raw literal 2"
+	return p
+}
+
+func waitsForever(t units.Time) bool {
+	return t == math.MaxInt64 // want:unitsafety "units.Infinity"
+}
+
+func badInfinity() units.Time {
+	return units.Time(math.MaxInt64) // want:unitsafety "units.Infinity"
+}

@@ -1,0 +1,32 @@
+package fixture
+
+import "repro/internal/units"
+
+// deadlineGood routes every magnitude through a named unit constant.
+func deadlineGood(t units.Time) units.Time {
+	return t + 5*units.Nanosecond
+}
+
+// compareGood: named constants, the Infinity sentinel, and zero are fine.
+func compareGood(t units.Time) bool {
+	return t < 100*units.Picosecond && t != units.Infinity && t > 0
+}
+
+// scaleGood: multiplying or dividing by a dimensionless count is fine.
+func scaleGood(t units.Time) units.Time {
+	return 2 * t / 4
+}
+
+// convGood: an explicit conversion names the unit at the use site.
+func convGood(p units.DBm) bool {
+	return p <= units.DBm(20)
+}
+
+// stepGood steps a loop variable by an explicitly converted amount.
+func stepGood() int {
+	n := 0
+	for p := units.DBm(0); p <= units.DBm(20); p += units.DBm(2) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitSafety enforces the units discipline: quantities typed as
+// units.Time, units.DB, or units.DBm may not be built by adding,
+// subtracting, or comparing raw numeric literals — every magnitude must
+// route through the named constants (units.Nanosecond, ...) or an
+// explicit conversion (units.DBm(3)), so the unit of every literal is
+// visible at the use site. It also flags comparisons and conversions
+// using math.MaxInt64 where units.Infinity is the documented sentinel.
+// Scaling by a dimensionless count (2 * delay, budget / 4) is allowed,
+// as are zero literals (t < 0, x == 0), which are unit-free.
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "flag raw literals mixed into units.Time/DB/DBm arithmetic and math.MaxInt64 used for units.Infinity",
+	Run:  runUnitSafety,
+}
+
+// unitTypeNames are the named quantity types the discipline covers.
+var unitTypeNames = map[string]bool{"Time": true, "DB": true, "DBm": true}
+
+// flaggedUnitOps are the operators where a raw literal hides a unit:
+// addition, subtraction, and ordering/equality comparisons. MUL/QUO are
+// exempt because their literal operand is a dimensionless scale factor.
+var flaggedUnitOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+}
+
+// unitTypeName reports the units type name ("Time", "DB", "DBm") if t
+// is one of the covered named types, else "".
+func unitTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/units") {
+		return ""
+	}
+	if unitTypeNames[obj.Name()] {
+		return obj.Name()
+	}
+	return ""
+}
+
+// rawNonZeroLiteral reports whether e is a bare numeric literal (or its
+// negation) with a nonzero value — the shape that hides a unit.
+func rawNonZeroLiteral(pass *Pass, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if v.Kind != token.INT && v.Kind != token.FLOAT {
+			return false
+		}
+	case *ast.UnaryExpr:
+		if v.Op != token.SUB && v.Op != token.ADD {
+			return false
+		}
+		if lit, ok := ast.Unparen(v.X).(*ast.BasicLit); !ok ||
+			(lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+			return false
+		}
+	default:
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return true
+	}
+	return constant.Sign(tv.Value) != 0
+}
+
+// isMaxInt64 reports whether e is the selector math.MaxInt64.
+func isMaxInt64(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "MaxInt64" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "math"
+}
+
+func runUnitSafety(pass *Pass) {
+	// The units package itself implements the constants and conversion
+	// helpers; the discipline applies to its consumers.
+	if strings.HasSuffix(pass.PkgPath, "internal/units") {
+		return
+	}
+	checkPair := func(op token.Token, a, b ast.Expr, pos token.Pos) {
+		ta := pass.TypesInfo.TypeOf(a)
+		if ta == nil {
+			return
+		}
+		name := unitTypeName(ta)
+		if name == "" {
+			return
+		}
+		if isMaxInt64(pass, b) {
+			pass.Reportf(pos,
+				"math.MaxInt64 used with units.%s; the sentinel is units.Infinity", name)
+			return
+		}
+		if rawNonZeroLiteral(pass, b) {
+			pass.Reportf(pos,
+				"raw literal %s in units.%s arithmetic; use the named unit constants or an explicit units.%s(...) conversion",
+				exprString(b), name, name)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !flaggedUnitOps[n.Op] {
+					return true
+				}
+				checkPair(n.Op, n.X, n.Y, n.Pos())
+				checkPair(n.Op, n.Y, n.X, n.Pos())
+			case *ast.AssignStmt:
+				if !flaggedUnitOps[n.Tok] || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+					return true
+				}
+				checkPair(n.Tok, n.Lhs[0], n.Rhs[0], n.Pos())
+			case *ast.CallExpr:
+				// Conversion units.Time(math.MaxInt64) and friends.
+				tv, ok := pass.TypesInfo.Types[n.Fun]
+				if !ok || !tv.IsType() || len(n.Args) != 1 {
+					return true
+				}
+				if name := unitTypeName(tv.Type); name != "" && isMaxInt64(pass, n.Args[0]) {
+					pass.Reportf(n.Pos(),
+						"units.%s(math.MaxInt64) conversion; the sentinel is units.Infinity", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// exprString renders a short source form of simple literal expressions.
+func exprString(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.UnaryExpr:
+		if lit, ok := ast.Unparen(v.X).(*ast.BasicLit); ok {
+			return v.Op.String() + lit.Value
+		}
+	}
+	return "literal"
+}

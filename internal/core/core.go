@@ -175,7 +175,7 @@ func (s *System) RunWorkload(t traffic.Config, warmup, measure uint64) (*crossba
 	if err != nil {
 		return nil, err
 	}
-	return sw.Run(gens, warmup, measure), nil
+	return sw.Run(gens, warmup, measure)
 }
 
 // RunUniform simulates uniform Bernoulli traffic at the given load.

@@ -95,7 +95,10 @@ func (s *System) RunWithOptics(load float64, warmup, measure uint64) (*crossbar.
 	if err != nil {
 		return nil, nil, err
 	}
-	m := sw.Run(gens, warmup, measure)
+	m, err := sw.Run(gens, warmup, measure)
+	if err != nil {
+		return nil, nil, err
+	}
 	rep.SwitchEvents = xb.SwitchEvents() - startEvents
 	if rep.Slots > 0 {
 		rep.ReconfigsPerSlot = float64(rep.SwitchEvents) / float64(rep.Slots)

@@ -87,7 +87,7 @@ func (p ScalePoint) FLPPRSpeedupNeeded(asicSpeedup float64) int {
 	}
 	// Sub-schedulers work in parallel, one matching completing per cell
 	// cycle: need K >= iterations * iterTime / cellTime.
-	k := (units.Time(p.SchedulerIterations)*iterTime + p.CellTime - 1) / p.CellTime
+	k := int64((units.Time(p.SchedulerIterations)*iterTime + p.CellTime - units.Picosecond) / p.CellTime)
 	if k < 1 {
 		k = 1
 	}

@@ -87,7 +87,10 @@ func TestLatencyPercentilesOrdered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := sw.Run(gens, 500, 4000)
+	m, err := sw.Run(gens, 500, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !(m.Latency.Min() <= m.Latency.Median() &&
 		m.Latency.Median() <= m.Latency.P99() &&
 		m.Latency.P99() <= m.Latency.Max()) {

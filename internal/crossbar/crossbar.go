@@ -398,9 +398,9 @@ type RunResult struct {
 // Run drives the switch with the given per-port generators for warmup
 // plus measure slots and returns the metrics. The allocator stamps
 // Created at the arrival slot.
-func (s *Switch) Run(gens []traffic.Generator, warmup, measure uint64) *Metrics {
+func (s *Switch) Run(gens []traffic.Generator, warmup, measure uint64) (*Metrics, error) {
 	if len(gens) != s.cfg.N {
-		panic(fmt.Sprintf("crossbar: %d generators for %d ports", len(gens), s.cfg.N))
+		return nil, fmt.Errorf("crossbar: %d generators for %d ports", len(gens), s.cfg.N)
 	}
 	arrivals := make([]*packet.Cell, s.cfg.N)
 	total := warmup + measure
@@ -421,7 +421,7 @@ func (s *Switch) Run(gens []traffic.Generator, warmup, measure uint64) *Metrics 
 		}
 		s.Step(arrivals)
 	}
-	return &s.metrics
+	return &s.metrics, nil
 }
 
 // Sweep runs a fresh switch per load point and reports delay vs
@@ -443,7 +443,10 @@ func Sweep(base Config, mkSched func() sched.Scheduler, loads []float64, seed ui
 		if err != nil {
 			return nil, err
 		}
-		m := sw.Run(gens, warmup, measure)
+		m, err := sw.Run(gens, warmup, measure)
+		if err != nil {
+			return nil, err
+		}
 		results = append(results, RunResult{
 			Load:       load,
 			Metrics:    m,

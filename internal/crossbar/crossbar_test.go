@@ -20,7 +20,10 @@ func runUniform(t *testing.T, cfg Config, load float64, warmup, measure uint64, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := sw.Run(gens, warmup, measure)
+	m, err := sw.Run(gens, warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return sw, m
 }
 
@@ -159,7 +162,10 @@ func TestEgressCapacityLossAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := sw.Run(gens, 100, 2000)
+	m, err := sw.Run(gens, 100, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Dropped == 0 {
 		t.Error("expected drops with capacity-1 egress under hotspot overload")
 	}
@@ -176,7 +182,10 @@ func TestBimodalControlPriority(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := sw.Run(gens, 1000, 5000)
+	m, err := sw.Run(gens, 1000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.ControlLatency.N() == 0 {
 		t.Fatal("no control cells delivered")
 	}
@@ -222,12 +231,9 @@ func TestSweepShape(t *testing.T) {
 	}
 }
 
-func TestMismatchedGeneratorsPanics(t *testing.T) {
+func TestMismatchedGeneratorsError(t *testing.T) {
 	sw, _ := New(Config{N: 8, Scheduler: sched.NewFLPPR(8, 0)})
-	defer func() {
-		if recover() == nil {
-			t.Error("mismatched generator count should panic")
-		}
-	}()
-	sw.Run(make([]traffic.Generator, 3), 1, 1)
+	if _, err := sw.Run(make([]traffic.Generator, 3), 1, 1); err == nil {
+		t.Error("mismatched generator count should return an error")
+	}
 }

@@ -12,10 +12,10 @@ import (
 )
 
 func init() {
-	register("ablation-flppr-k", "Ablation: FLPPR sub-scheduler count vs delay and throughput", runAblationFLPPRK)
-	register("ablation-islip-iters", "Ablation: iSLIP iteration count under non-uniform traffic", runAblationISLIPIters)
-	register("ablation-receivers", "Ablation: receiver count per egress beyond dual", runAblationReceivers)
-	register("ablation-credits", "Ablation: inter-stage buffer depth vs the deterministic-RTT bound", runAblationCredits)
+	mustRegister("ablation-flppr-k", "Ablation: FLPPR sub-scheduler count vs delay and throughput", runAblationFLPPRK)
+	mustRegister("ablation-islip-iters", "Ablation: iSLIP iteration count under non-uniform traffic", runAblationISLIPIters)
+	mustRegister("ablation-receivers", "Ablation: receiver count per egress beyond dual", runAblationReceivers)
+	mustRegister("ablation-credits", "Ablation: inter-stage buffer depth vs the deterministic-RTT bound", runAblationCredits)
 }
 
 // runAblationFLPPRK sweeps the FLPPR parallelism K: K=log2(N) is the
@@ -83,7 +83,10 @@ func runAblationISLIPIters(cfg RunConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		m := sw.Run(gens, warm, meas)
+		m, err := sw.Run(gens, warm, meas)
+		if err != nil {
+			return nil, err
+		}
 		thr.Add(float64(iters), m.AcceptanceRatio())
 		delay.Add(float64(iters), m.MeanLatencySlots())
 	}

@@ -11,7 +11,7 @@ import (
 )
 
 func init() {
-	register("bvn", "SVI.D: load-balanced Birkhoff-von Neumann switch vs OSMOSIS", runBvN)
+	mustRegister("bvn", "SVI.D: load-balanced Birkhoff-von Neumann switch vs OSMOSIS", runBvN)
 }
 
 // runBvN reproduces the §VI.D comparison: the load-balanced BvN switch

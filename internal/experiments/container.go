@@ -11,7 +11,7 @@ import (
 )
 
 func init() {
-	register("container", "SII/SVI.D: burst/container switching latency vs OSMOSIS per-cell scheduling", runContainer)
+	mustRegister("container", "SII/SVI.D: burst/container switching latency vs OSMOSIS per-cell scheduling", runContainer)
 }
 
 // runContainer reproduces the paper's dismissal of burst (envelope /

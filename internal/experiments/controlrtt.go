@@ -10,7 +10,7 @@ import (
 )
 
 func init() {
-	register("control-rtt", "ref [18]/SIV.A: scheduling latency vs adapter-to-scheduler distance", runControlRTT)
+	mustRegister("control-rtt", "ref [18]/SIV.A: scheduling latency vs adapter-to-scheduler distance", runControlRTT)
 }
 
 // runControlRTT reproduces the argument behind buffer placement option 3
@@ -45,7 +45,10 @@ func runControlRTT(cfg RunConfig) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			m := sw.Run(gens, warm, meas)
+			m, err := sw.Run(gens, warm, meas)
+			if err != nil {
+				return nil, err
+			}
 			if m.OrderViolations != 0 {
 				res.AddFinding("ordering", "order holds under delayed grants",
 					fmt.Sprintf("%d violations at rtt=%d", m.OrderViolations, rtt), false)

@@ -11,7 +11,7 @@ import (
 )
 
 func init() {
-	register("deflect", "SII: Data-Vortex-style deflection routing vs buffered VOQ switching", runDeflect)
+	mustRegister("deflect", "SII: Data-Vortex-style deflection routing vs buffered VOQ switching", runDeflect)
 }
 
 // runDeflect reproduces the paper's assessment of deflection routing

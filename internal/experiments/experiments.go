@@ -106,7 +106,10 @@ var canonical = []string{
 	"ablation-flppr-k", "ablation-islip-iters", "ablation-receivers", "ablation-credits", "ablation-interleave",
 }
 
-func register(id, title string, run func(RunConfig) (*Result, error)) {
+// mustRegister adds an experiment to the registry and panics on a
+// duplicate ID. It is called only from package init functions, where a
+// duplicate is a programmer error caught by the cheapest smoke test.
+func mustRegister(id, title string, run func(RunConfig) (*Result, error)) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
@@ -124,16 +127,17 @@ func rank(id string) int {
 
 // All lists the experiments in paper order.
 func All() []Experiment {
-	out := make([]Experiment, 0, len(registry))
-	for id := range registry {
+	ids := make([]string, 0, len(registry))
+	for id := range registry { //lint:ignore determinism keys are sorted before use
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
 		out = append(out, registry[id])
 	}
-	sort.Slice(out, func(i, j int) bool {
-		ri, rj := rank(out[i].ID), rank(out[j].ID)
-		if ri != rj {
-			return ri < rj
-		}
-		return out[i].ID < out[j].ID
+	sort.SliceStable(out, func(i, j int) bool {
+		return rank(out[i].ID) < rank(out[j].ID)
 	})
 	return out
 }

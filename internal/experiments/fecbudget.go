@@ -10,7 +10,7 @@ import (
 )
 
 func init() {
-	register("fec", "SIV.C/SV: FEC and retransmission error budget", runFEC)
+	mustRegister("fec", "SIV.C/SV: FEC and retransmission error budget", runFEC)
 }
 
 // runFEC regenerates the two-tier reliability budget of §IV.C: the

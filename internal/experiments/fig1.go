@@ -9,7 +9,7 @@ import (
 )
 
 func init() {
-	register("fig1", "Fig. 1: control and data latency of a single-stage centrally scheduled fabric vs machine-room size", runFig1)
+	mustRegister("fig1", "Fig. 1: control and data latency of a single-stage centrally scheduled fabric vs machine-room size", runFig1)
 }
 
 // runFig1 sweeps the machine-room diameter and compares the 2-RTT

@@ -9,7 +9,7 @@ import (
 )
 
 func init() {
-	register("fig10", "Fig. 10: OSNR penalty vs SOA input power for DPSK and NRZ", runFig10)
+	mustRegister("fig10", "Fig. 10: OSNR penalty vs SOA input power for DPSK and NRZ", runFig10)
 }
 
 // runFig10 regenerates the four curves of Fig. 10 from the XGM
@@ -29,7 +29,7 @@ func runFig10(_ RunConfig) (*Result, error) {
 			series[name] = tb.AddSeries(name)
 		}
 	}
-	for pin := units.DBm(0); pin <= 20; pin += 2 {
+	for pin := units.DBm(0); pin <= units.DBm(20); pin += units.DBm(2) {
 		for _, f := range []optics.Modulation{optics.NRZ, optics.DPSK} {
 			for _, b := range []optics.BERTarget{optics.BER1e6, optics.BER1e10} {
 				name := fmt.Sprintf("%s-BER%s", f, b)

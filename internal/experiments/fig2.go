@@ -10,7 +10,7 @@ import (
 )
 
 func init() {
-	register("fig2", "Fig. 2: buffer placement options around the optical crossbar", runFig2)
+	mustRegister("fig2", "Fig. 2: buffer placement options around the optical crossbar", runFig2)
 }
 
 // oeoPerStage counts opto-electronic conversion pairs per switch stage

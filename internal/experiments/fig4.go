@@ -11,7 +11,7 @@ import (
 )
 
 func init() {
-	register("fig4", "Figs. 3/4: local and remote flow-control loops with input buffers only", runFig4)
+	mustRegister("fig4", "Figs. 3/4: local and remote flow-control loops with input buffers only", runFig4)
 }
 
 // runFig4 stresses the scheduler-relayed remote flow control of SIV.B:

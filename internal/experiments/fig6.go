@@ -10,7 +10,7 @@ import (
 )
 
 func init() {
-	register("fig6", "Fig. 6: FLPPR request-to-grant latency vs prior art", runFig6)
+	mustRegister("fig6", "Fig. 6: FLPPR request-to-grant latency vs prior art", runFig6)
 }
 
 // runFig6 measures the request-to-grant latency (VOQ waiting time in
@@ -44,7 +44,10 @@ func runFig6(cfg RunConfig) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			m := sw.Run(gens, warm, meas)
+			m, err := sw.Run(gens, warm, meas)
+			if err != nil {
+				return nil, err
+			}
 			if kind == "flppr" {
 				flppr.Add(load, m.GrantLatency.Mean())
 			} else {

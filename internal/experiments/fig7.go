@@ -9,7 +9,7 @@ import (
 )
 
 func init() {
-	register("fig7", "Fig. 7: OSMOSIS delay versus throughput, single vs dual receiver", runFig7)
+	mustRegister("fig7", "Fig. 7: OSMOSIS delay versus throughput, single vs dual receiver", runFig7)
 }
 
 // runFig7 regenerates the delay-versus-load curves of Fig. 7 on the

@@ -10,7 +10,7 @@ import (
 )
 
 func init() {
-	register("ablation-interleave", "Ablation: FEC interleaving depth vs burst-error survival", runAblationInterleave)
+	mustRegister("ablation-interleave", "Ablation: FEC interleaving depth vs burst-error survival", runAblationInterleave)
 }
 
 // runAblationInterleave measures how many FEC blocks survive wire

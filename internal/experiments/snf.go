@@ -11,8 +11,8 @@ import (
 )
 
 func init() {
-	register("snf", "SIV: store-and-forward penalty vs packet size", runSNF)
-	register("guard", "SIV.C/SV: guard time vs effective user bandwidth", runGuard)
+	mustRegister("snf", "SIV: store-and-forward penalty vs packet size", runSNF)
+	mustRegister("guard", "SIV.C/SV: guard time vs effective user bandwidth", runGuard)
 }
 
 // runSNF quantifies the §IV argument that made store-and-forward

@@ -10,9 +10,9 @@ import (
 )
 
 func init() {
-	register("stages", "SVI.C: stage counts and OEO savings for a 2048-port fabric", runStages)
-	register("power", "SI/SVII: power scaling — CMOS vs SOA switching", runPower)
-	register("scaling", "SVII: OSMOSIS scaling outlook vs the electronic single-stage limit", runScaling)
+	mustRegister("stages", "SVI.C: stage counts and OEO savings for a 2048-port fabric", runStages)
+	mustRegister("power", "SI/SVII: power scaling — CMOS vs SOA switching", runPower)
+	mustRegister("scaling", "SVII: OSMOSIS scaling outlook vs the electronic single-stage limit", runScaling)
 }
 
 // runStages reproduces the §VI.C comparison: a 2048-port fabric needs 3

@@ -10,7 +10,7 @@ import (
 )
 
 func init() {
-	register("stages-sim", "SVI.C simulated: end-to-end latency of 3-stage vs 5-stage vs 9-stage fabrics", runStagesSim)
+	mustRegister("stages-sim", "SVI.C simulated: end-to-end latency of 3-stage vs 5-stage vs 9-stage fabrics", runStagesSim)
 }
 
 // runStagesSim backs the analytic §VI.C stage-count table with full
@@ -71,6 +71,7 @@ func runStagesSim(cfg RunConfig) (*Result, error) {
 		lat.Add(stages, float64(m.LatencySlots.Mean()))
 		p99.Add(stages, float64(m.LatencySlots.P99()))
 		maxHop := 0
+		//lint:ignore determinism max over keys is order-independent
 		for h := range m.HopHistogram {
 			if h > maxHop {
 				maxHop = h

@@ -7,7 +7,7 @@ import (
 )
 
 func init() {
-	register("table1", "Table 1: key HPC fabric requirements, verified on the ASIC-target OSMOSIS switch", runTable1)
+	mustRegister("table1", "Table 1: key HPC fabric requirements, verified on the ASIC-target OSMOSIS switch", runTable1)
 }
 
 // runTable1 runs the OSMOSIS switch at the commercialization target

@@ -9,7 +9,7 @@ import (
 )
 
 func init() {
-	register("tech", "SII/SIV.C: optical switching technology selection by guard time", runTechSelect)
+	mustRegister("tech", "SII/SIV.C: optical switching technology selection by guard time", runTechSelect)
 }
 
 // switchTech is one optical switching technology from §II with its

@@ -164,6 +164,7 @@ func (n *node) arbitrate(slot uint64) (launches []launch, freed []int) {
 		c := n.voqs[in].Pop(out)
 		if c == nil {
 			// Scheduler promised a cell that is not there — a bug.
+			//lint:ignore panicfree scheduler/VOQ bookkeeping invariant: a grant without a cell is a scheduler bug, not a runtime condition
 			panic(fmt.Sprintf("fabric: %v granted empty VOQ in=%d out=%d slot=%d", n.id, in, out, slot))
 		}
 		c.Hops++

@@ -53,6 +53,7 @@ func Mul(a, b byte) byte {
 // caller bug in this package.
 func Div(a, b byte) byte {
 	if b == 0 {
+		//lint:ignore panicfree GF(256) division by zero mirrors integer division: always a caller bug in hot codec loops
 		panic("fec: division by zero in GF(256)")
 	}
 	if a == 0 {
@@ -64,6 +65,7 @@ func Div(a, b byte) byte {
 // Inv returns the multiplicative inverse of a. Zero panics.
 func Inv(a byte) byte {
 	if a == 0 {
+		//lint:ignore panicfree zero has no inverse; a caller bug, not a data error
 		panic("fec: inverse of zero in GF(256)")
 	}
 	return gfExp[255-gfLog[a]]
@@ -75,6 +77,7 @@ func Exp(i int) byte { return gfExp[i%255] }
 // Log returns the discrete logarithm of a (a != 0) base α.
 func Log(a byte) int {
 	if a == 0 {
+		//lint:ignore panicfree log of zero is undefined; a caller bug, not a data error
 		panic("fec: log of zero in GF(256)")
 	}
 	return gfLog[a]

@@ -232,3 +232,27 @@ func TestUintCodec(t *testing.T) {
 		}
 	}
 }
+
+// TestLinkFaultLatches: a codec rejection during transmit latches a
+// sticky fault instead of panicking; the link stops transmitting and
+// Send/Err report the fault.
+func TestLinkFaultLatches(t *testing.T) {
+	k := sim.New()
+	fwd := NewChannel(0, units.OSMOSISPortRate, 0, 1)
+	rev := NewChannel(0, units.OSMOSISPortRate, 0, 2)
+	l := NewReliableLink(k, fwd, rev, Codec{}, 4, units.Microsecond)
+	// Inject a frame whose payload the codec must reject (not a
+	// multiple of the FEC block size), bypassing Send's validation.
+	l.pending = append(l.pending, Frame{Seq: l.next, Payload: make([]byte, 7)})
+	l.next++
+	l.pump()
+	if l.Err() == nil {
+		t.Fatal("expected a latched fault after codec rejection")
+	}
+	if err := l.Send(make([]byte, 32)); err == nil {
+		t.Error("Send on a faulted link should return the fault")
+	}
+	if l.InFlight() == 0 {
+		t.Error("the faulted frame should remain unacknowledged")
+	}
+}

@@ -52,6 +52,11 @@ type ReliableLink struct {
 	// Stats.
 	Sent, Retransmitted, Delivered, CorruptDropped uint64
 	AcksSent                                       uint64
+
+	// failure records the first unrecoverable link fault (the codec
+	// rejecting a frame); once set the link stops transmitting and
+	// Send/Err report it.
+	failure error
 }
 
 // NewReliableLink wires a reliable link over forward/reverse channels.
@@ -72,6 +77,9 @@ func NewReliableLink(k *sim.Kernel, fwd, rev *Channel, codec Codec, window int, 
 // Send queues a payload (a positive multiple of 32 bytes, the FEC data
 // block size) for reliable in-order delivery.
 func (l *ReliableLink) Send(payload []byte) error {
+	if l.failure != nil {
+		return l.failure
+	}
 	if len(payload) == 0 || len(payload)%32 != 0 {
 		return fmt.Errorf("link: payload must be a positive multiple of 32 bytes, got %d", len(payload))
 	}
@@ -88,9 +96,20 @@ func (l *ReliableLink) InFlight() int { return int(l.next - l.base) }
 // Done reports whether every queued frame has been acknowledged.
 func (l *ReliableLink) Done() bool { return l.base == l.next }
 
+// Err reports the first unrecoverable link fault, or nil. A faulted
+// link keeps accepting simulated receive events but stops transmitting.
+func (l *ReliableLink) Err() error { return l.failure }
+
+// fail latches the first unrecoverable fault.
+func (l *ReliableLink) fail(err error) {
+	if l.failure == nil {
+		l.failure = err
+	}
+}
+
 // pump transmits frames up to the window edge.
 func (l *ReliableLink) pump() {
-	for l.high < l.next && l.high < l.base+uint64(l.Window) {
+	for l.failure == nil && l.high < l.next && l.high < l.base+uint64(l.Window) {
 		l.transmit(l.pending[l.high-l.base])
 		l.high++
 	}
@@ -109,7 +128,8 @@ func (l *ReliableLink) transmit(f Frame) {
 	putUint64(header, f.Seq)
 	wire, err := l.codec.Encode(append(header, f.Payload...))
 	if err != nil {
-		panic(fmt.Sprintf("link: encode: %v", err))
+		l.fail(fmt.Errorf("link: encode: %w", err))
+		return
 	}
 	corrupted := l.forward.Corrupt(wire)
 	arrive := l.forward.Transit(l.kernel.Now(), len(wire))
@@ -147,7 +167,8 @@ func (l *ReliableLink) sendAck(cum uint64) {
 	putUint64(payload, cum)
 	wire, err := l.codec.Encode(payload)
 	if err != nil {
-		panic(fmt.Sprintf("link: ack encode: %v", err))
+		l.fail(fmt.Errorf("link: ack encode: %w", err))
+		return
 	}
 	l.AcksSent++
 	corrupted := l.reverse.Corrupt(wire)

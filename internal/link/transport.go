@@ -77,6 +77,11 @@ type CellTransport struct {
 	Deliver func(c *packet.Cell)
 	// Sent counts cells queued; Received counts cells delivered.
 	Sent, Received uint64
+	// FramingErrors counts frames that decoded cleanly yet failed to
+	// parse as cells — a framing bug in the stack, not channel noise.
+	FramingErrors uint64
+	// failure latches the first framing fault for Err.
+	failure error
 }
 
 // NewCellTransport builds a transport over forward/reverse channels.
@@ -87,8 +92,13 @@ func NewCellTransport(k *sim.Kernel, fwd, rev *Channel, codec Codec, window int,
 		c, err := UnmarshalCell(f.Payload)
 		if err != nil {
 			// A frame that decodes cleanly but fails to parse indicates
-			// a framing bug, not channel noise; surface loudly.
-			panic(fmt.Sprintf("link: cell transport framing: %v", err))
+			// a framing bug, not channel noise; drop it and latch the
+			// fault so Err surfaces it to the caller.
+			t.FramingErrors++
+			if t.failure == nil {
+				t.failure = fmt.Errorf("link: cell transport framing: %w", err)
+			}
+			return
 		}
 		t.Received++
 		if t.Deliver != nil {
@@ -96,6 +106,15 @@ func NewCellTransport(k *sim.Kernel, fwd, rev *Channel, codec Codec, window int,
 		}
 	}
 	return t
+}
+
+// Err reports the first transport fault (a framing error on receive or
+// an unrecoverable fault on the underlying link), or nil.
+func (t *CellTransport) Err() error {
+	if t.failure != nil {
+		return t.failure
+	}
+	return t.link.Err()
 }
 
 // Send queues a cell for reliable transport.

@@ -61,6 +61,7 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//lint:ignore panicfree mirrors the math/rand Intn contract: non-positive n is a caller bug
 		panic("sim: Intn with non-positive n")
 	}
 	// Lemire's multiply-shift rejection method for unbiased bounded draws.
@@ -107,6 +108,7 @@ func (r *RNG) Geometric(p float64) int {
 		return 0
 	}
 	if p <= 0 {
+		//lint:ignore panicfree non-positive p diverges; a caller bug, mirroring the Intn contract
 		panic("sim: Geometric with non-positive p")
 	}
 	n := 0

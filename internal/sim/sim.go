@@ -101,6 +101,7 @@ func (k *Kernel) Pending() int {
 // would corrupt every downstream statistic.
 func (k *Kernel) At(at units.Time, fn Event) Handle {
 	if at < k.now {
+		//lint:ignore panicfree causality invariant: scheduling into the past is a model bug and reordering time would corrupt every statistic
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
 	}
 	s := &scheduled{at: at, seq: k.seq, fn: fn}
@@ -112,6 +113,7 @@ func (k *Kernel) At(at units.Time, fn Event) Handle {
 // After schedules fn to run delay after the current time.
 func (k *Kernel) After(delay units.Time, fn Event) Handle {
 	if delay < 0 {
+		//lint:ignore panicfree causality invariant: a negative delay schedules into the past
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
 	return k.At(k.now+delay, fn)
@@ -161,6 +163,7 @@ func (k *Kernel) RunUntilIdle() units.Time { return k.Run(units.Infinity) }
 // operation of the OSMOSIS switch (51.2 ns packet cycles).
 func (k *Kernel) Ticker(start, period units.Time, fn func(now units.Time) bool) {
 	if period <= 0 {
+		//lint:ignore panicfree a non-positive period would loop the kernel at one instant forever; a caller bug
 		panic(fmt.Sprintf("sim: ticker period %v must be positive", period))
 	}
 	var tick Event

@@ -224,6 +224,7 @@ type TimeWeighted struct {
 func (w *TimeWeighted) Set(now units.Time, v float64) {
 	if w.started {
 		if now < w.last {
+			//lint:ignore panicfree non-monotonic samples mean the kernel invariant already failed; corrupt integrals must not look like results
 			panic(fmt.Sprintf("stats: time went backwards: %v < %v", now, w.last))
 		}
 		w.area += w.value * float64(now-w.last)

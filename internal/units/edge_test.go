@@ -1,0 +1,121 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// TestInfinitySentinel pins the sentinel's contract: it sorts after
+// every real timestamp, formats as "inf", and is what the helpers
+// return for degenerate bandwidths.
+func TestInfinitySentinel(t *testing.T) {
+	if Infinity != Time(math.MaxInt64) {
+		t.Fatalf("Infinity = %d, want MaxInt64", int64(Infinity))
+	}
+	for _, real := range []Time{0, Picosecond, Second, 1 << 62, -Second} {
+		if real >= Infinity {
+			t.Errorf("real time %d does not sort before Infinity", int64(real))
+		}
+	}
+	if got := Infinity.String(); got != "inf" {
+		t.Errorf("Infinity.String() = %q, want \"inf\"", got)
+	}
+	if got := TransmissionTime(256, 0); got != Infinity {
+		t.Errorf("TransmissionTime at zero bandwidth = %v, want Infinity", got)
+	}
+	if got := BitTime(-GigabitPerSecond); got != Infinity {
+		t.Errorf("BitTime at negative bandwidth = %v, want Infinity", got)
+	}
+}
+
+// TestInfinityOverflowWraps documents that Time is plain two's
+// complement: arithmetic past Infinity wraps negative rather than
+// saturating, so schedulers must compare against Infinity before
+// adding to it (the kernel's causality panic catches violations).
+func TestInfinityOverflowWraps(t *testing.T) {
+	inf := Infinity // runtime value: constant arithmetic would not compile
+	if sum := inf + Picosecond; sum >= 0 {
+		t.Errorf("Infinity + 1ps = %d; expected wrap to negative", int64(sum))
+	}
+	if twice := inf + inf; twice >= 0 {
+		t.Errorf("Infinity + Infinity = %d; expected wrap to negative", int64(twice))
+	}
+}
+
+// TestNegativeDurations: negative values survive conversions and format
+// with a leading minus in the adaptive unit.
+func TestNegativeDurations(t *testing.T) {
+	cases := []struct {
+		d    Time
+		want string
+	}{
+		{-Picosecond, "-1ps"},
+		{-25 * Picosecond, "-25ps"},
+		{-Nanosecond, "-1ns"},
+		{-Second, "-1s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+	if got := FromNanoseconds(-51.2); got != -51200*Picosecond {
+		t.Errorf("FromNanoseconds(-51.2) = %d ps, want -51200", int64(got))
+	}
+	if got := (-51200 * Picosecond).Nanoseconds(); got != -51.2 {
+		t.Errorf("(-51200ps).Nanoseconds() = %v, want -51.2", got)
+	}
+}
+
+// TestRoundTripAtPaperQuantities: the two durations everything in the
+// paper hangs off — the 25 ps bit time and the 51.2 ns cell cycle at
+// 40 Gb/s — round-trip exactly through FromNanoseconds/Nanoseconds and
+// agree with the bandwidth helpers.
+func TestRoundTripAtPaperQuantities(t *testing.T) {
+	bit := FromNanoseconds(0.025)
+	if bit != 25*Picosecond {
+		t.Fatalf("bit time = %d ps, want 25", int64(bit))
+	}
+	if bit != BitTime(OSMOSISPortRate) {
+		t.Errorf("FromNanoseconds(0.025) = %v, BitTime(40G) = %v", bit, BitTime(OSMOSISPortRate))
+	}
+	if got := bit.Nanoseconds(); got != 0.025 {
+		t.Errorf("25ps.Nanoseconds() = %v, want 0.025", got)
+	}
+
+	cell := FromNanoseconds(51.2)
+	if cell != 51200*Picosecond {
+		t.Fatalf("cell cycle = %d ps, want 51200", int64(cell))
+	}
+	if cell != TransmissionTime(256, OSMOSISPortRate) {
+		t.Errorf("FromNanoseconds(51.2) = %v, TransmissionTime(256B@40G) = %v",
+			cell, TransmissionTime(256, OSMOSISPortRate))
+	}
+	if got := cell.Nanoseconds(); got != 51.2 {
+		t.Errorf("51200ps.Nanoseconds() = %v, want 51.2", got)
+	}
+	// 2048 cell cycles per 40G port per 104.8576 us epoch, exact.
+	if got := 2048 * cell; got != FromNanoseconds(2048*51.2) {
+		t.Errorf("2048 cell cycles = %v, want %v", got, FromNanoseconds(2048*51.2))
+	}
+}
+
+// TestFromNanosecondsRounding: conversion rounds to the nearest
+// picosecond, ties away from zero (math.Round).
+func TestFromNanosecondsRounding(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Time
+	}{
+		{0.0004, 0},
+		{0.0005, Picosecond},
+		{0.0014, Picosecond},
+		{-0.0005, -Picosecond},
+		{0.025 + 0.0004, 25 * Picosecond},
+	}
+	for _, c := range cases {
+		if got := FromNanoseconds(c.ns); got != c.want {
+			t.Errorf("FromNanoseconds(%v) = %d ps, want %d", c.ns, int64(got), int64(c.want))
+		}
+	}
+}

@@ -15,7 +15,7 @@ import (
 // Time is a simulation timestamp or duration in integer picoseconds.
 //
 // One picosecond resolution comfortably resolves the paper's quantities:
-// a 256-byte cell at 40 Gb/s lasts 51.2 ns = 51_200_000 ps, and a single
+// a 256-byte cell at 40 Gb/s lasts 51.2 ns = 51_200 ps, and a single
 // bit at 40 Gb/s lasts 25 ps.
 type Time int64
 
