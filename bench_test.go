@@ -9,10 +9,12 @@ package repro
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/crossbar"
+	"repro/internal/experiments"
 	"repro/internal/fabric"
 	"repro/internal/fec"
 	"repro/internal/link"
@@ -363,6 +365,63 @@ func BenchmarkAblationGuardTime(b *testing.B) {
 	subNS.GuardTime = 500 * units.Picosecond
 	b.ReportMetric(subNS.EffectiveUserBandwidthFraction(), "eff-bw-subns")
 	_ = acc
+}
+
+// --- Parallel execution layer (internal/parallel) ---
+
+// benchQuickSuite times the full quick-mode experiment suite — exactly
+// what `cmd/experiments -quick -par N` runs — at the given parallelism.
+// The serial/parallel pair is the wall-clock comparison recorded in
+// BENCH_experiments.json.
+func benchQuickSuite(b *testing.B, workers int) {
+	all := experiments.All()
+	cfg := experiments.RunConfig{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range experiments.RunMany(all, cfg, workers) {
+			if o.Err != nil {
+				b.Fatalf("%s: %v", o.Experiment.ID, o.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkQuickSuiteSerial(b *testing.B) { benchQuickSuite(b, 1) }
+func BenchmarkQuickSuiteParallel(b *testing.B) {
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	benchQuickSuite(b, 0)
+}
+
+// BenchmarkSweepSerial/Parallel: one Fig.-7-shaped 8-point load sweep,
+// serial vs pooled.
+func benchSweep(b *testing.B, workers int) {
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9, 0.95}
+	mk := func() sched.Scheduler { return sched.NewFLPPR(16, 0) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := crossbar.SweepN(crossbar.Config{N: 16, Receivers: 2}, mk, loads, 1, 300, 2000, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkReplicate8: eight merged replications of one 64-port config.
+func BenchmarkReplicate8(b *testing.B) {
+	tcfg := traffic.Config{Kind: traffic.KindUniform, Load: 0.9, Seed: 1}
+	mk := func() sched.Scheduler { return sched.NewFLPPR(64, 0) }
+	var m *crossbar.Metrics
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = crossbar.Replicate(crossbar.Config{N: 64, Receivers: 2}, mk, tcfg, 8, 200, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Latency.N()), "merged-samples")
+	b.ReportMetric(m.ThroughputPerPort(64), "thrpt/port")
 }
 
 // --- Microbenchmarks of the hot paths ---

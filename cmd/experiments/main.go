@@ -7,27 +7,55 @@
 //	experiments -quick       # reduced simulation windows
 //	experiments -list        # list experiment IDs
 //	experiments -seed 7      # change the RNG seed
+//	experiments -par 8       # run up to 8 experiments concurrently
 //
 // Output is plain text: one aligned table per figure series plus a
-// REPRODUCED/MISMATCH verdict per headline finding.
+// REPRODUCED/MISMATCH verdict per headline finding. The -par worker
+// count changes only wall-clock time, never the output: experiments run
+// on an index-keyed worker pool and render in canonical order, so
+// `-par N` output is byte-identical to `-par 1` for every N.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 )
+
+// validateSeed enforces the RunConfig.Seed contract at the flag
+// boundary: 0 is "unset", so an explicit -seed 0 is rejected loudly
+// instead of being silently remapped to the default seed.
+func validateSeed(seed uint64, explicit bool) error {
+	if explicit && seed == 0 {
+		return fmt.Errorf("-seed 0 is not a valid seed: 0 means \"unset\" and would silently run the default seed %d; pick any seed >= 1",
+			experiments.DefaultSeed)
+	}
+	return nil
+}
 
 func main() {
 	var (
 		id    = flag.String("e", "", "experiment ID (empty = all)")
 		quick = flag.Bool("quick", false, "reduced simulation windows")
 		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		seed  = flag.Uint64("seed", 1, "RNG seed")
+		seed  = flag.Uint64("seed", experiments.DefaultSeed, "RNG seed (>= 1)")
+		par   = flag.Int("par", runtime.NumCPU(), "max concurrent experiments (1 = serial)")
 	)
 	flag.Parse()
+
+	seedExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedExplicit = true
+		}
+	})
+	if err := validateSeed(*seed, seedExplicit); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -50,14 +78,13 @@ func main() {
 	}
 
 	mismatches := 0
-	for _, e := range toRun {
-		res, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+	for _, o := range experiments.RunMany(toRun, cfg, *par) {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", o.Experiment.ID, o.Err)
 			os.Exit(1)
 		}
-		res.Write(os.Stdout)
-		if !res.AllMatch() {
+		o.Result.Write(os.Stdout)
+		if !o.Result.AllMatch() {
 			mismatches++
 		}
 	}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestValidateSeed pins the -seed flag contract: seed 0 used to be
+// silently remapped to the default seed; now an explicit -seed 0 is an
+// error, while the unset default passes through untouched.
+func TestValidateSeed(t *testing.T) {
+	// Regression: explicit 0 must be rejected, not remapped.
+	err := validateSeed(0, true)
+	if err == nil {
+		t.Fatal("explicit -seed 0 accepted; it used to silently run seed 1")
+	}
+	if !strings.Contains(err.Error(), "0") || !strings.Contains(err.Error(), "unset") {
+		t.Errorf("error should explain the 0-means-unset contract: %v", err)
+	}
+	// The flag default (not user-set) is fine even though it equals
+	// DefaultSeed, and any explicit nonzero seed is fine.
+	if err := validateSeed(experiments.DefaultSeed, false); err != nil {
+		t.Errorf("default seed rejected: %v", err)
+	}
+	for _, s := range []uint64{1, 2, 1 << 60} {
+		if err := validateSeed(s, true); err != nil {
+			t.Errorf("explicit seed %d rejected: %v", s, err)
+		}
+	}
+}

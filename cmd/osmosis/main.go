@@ -9,7 +9,12 @@
 //	osmosis -receivers 1                      # single-receiver egress
 //	osmosis -traffic bursty -burst 32         # bursty workload
 //	osmosis -sweep 0.1,0.3,0.5,0.7,0.9,0.99   # delay-vs-load curve
+//	osmosis -reps 8                           # 8 parallel replications, merged stats
 //	osmosis -table1                           # verify Table 1 at the ASIC target
+//
+// Sweeps and replications run concurrently on up to GOMAXPROCS workers;
+// each point derives its own RNG seed from (-seed, point index), so the
+// printed numbers are identical however many cores execute them.
 package main
 
 import (
@@ -40,6 +45,7 @@ func main() {
 		measure   = flag.Uint64("measure", 10000, "measured slots")
 		seed      = flag.Uint64("seed", 1, "RNG seed")
 		rttCycles = flag.Int("control-rtt", 0, "adapter-to-scheduler round trip in cycles")
+		reps      = flag.Int("reps", 1, "independent replications to run and merge (parallel)")
 		sweepStr  = flag.String("sweep", "", "comma-separated loads for a delay-vs-load sweep")
 		table1    = flag.Bool("table1", false, "verify Table 1 at the ASIC target format and exit")
 		asic      = flag.Bool("asic", false, "use the ASIC-target cell format (12 GByte/s ports)")
@@ -134,6 +140,31 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown traffic kind %q", *kind))
 	}
+	if *reps > 1 {
+		swCfg, err := sys.SwitchConfig()
+		if err != nil {
+			fatal(err)
+		}
+		mk := func() sched.Scheduler {
+			s, err := core.BuildScheduler(sysCfg.Scheduler, *ports, *param, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			return s
+		}
+		if sysCfg.Scheduler == core.SchedIdealOQ {
+			mk = nil
+		}
+		tcfg.Seed = *seed
+		m, err := crossbar.Replicate(swCfg, mk, tcfg, *reps, *warmup, *measure)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("merged statistics over %d independent replications (derived seeds)\n", *reps)
+		printMetrics(m, *ports)
+		return
+	}
+
 	m, err := sys.RunWorkload(tcfg, *warmup, *measure)
 	if err != nil {
 		fatal(err)

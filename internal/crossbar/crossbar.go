@@ -13,7 +13,9 @@ import (
 	"fmt"
 
 	"repro/internal/packet"
+	"repro/internal/parallel"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 	"repro/internal/units"
@@ -70,6 +72,31 @@ type Metrics struct {
 	OrderViolations uint64
 	// CycleTime scales slots to time.
 	CycleTime units.Time
+}
+
+// Merge folds other into m (parallel-replication combination): counters
+// and window lengths add, latency collectors merge sample-exactly, and
+// depth high-water marks take the maximum. After merging R replication
+// metrics in index order, m reports what one collector observing all R
+// measurement windows back to back would report. other is unchanged.
+func (m *Metrics) Merge(other *Metrics) {
+	m.Offered += other.Offered
+	m.Delivered += other.Delivered
+	m.Dropped += other.Dropped
+	m.MeasureSlots += other.MeasureSlots
+	m.Latency.Merge(&other.Latency)
+	m.ControlLatency.Merge(&other.ControlLatency)
+	m.GrantLatency.Merge(&other.GrantLatency)
+	if other.MaxVOQDepth > m.MaxVOQDepth {
+		m.MaxVOQDepth = other.MaxVOQDepth
+	}
+	if other.MaxEgressDepth > m.MaxEgressDepth {
+		m.MaxEgressDepth = other.MaxEgressDepth
+	}
+	m.OrderViolations += other.OrderViolations
+	if m.CycleTime == 0 {
+		m.CycleTime = other.CycleTime
+	}
 }
 
 // ThroughputPerPort reports delivered cells per port per slot during the
@@ -424,35 +451,116 @@ func (s *Switch) Run(gens []traffic.Generator, warmup, measure uint64) (*Metrics
 	return &s.metrics, nil
 }
 
+// runPoint builds one fresh switch plus generators and runs a single
+// (workload, seed) measurement. It is the unit of work both Sweep and
+// Replicate fan out: everything it touches — switch, scheduler,
+// allocator, generators, collectors — is created here, so concurrent
+// points share no mutable state. tcfg.N is overridden with the switch
+// port count.
+func runPoint(base Config, mkSched func() sched.Scheduler, tcfg traffic.Config, warmup, measure uint64) (RunResult, error) {
+	cfg := base
+	if mkSched != nil {
+		cfg.Scheduler = mkSched()
+	}
+	sw, err := New(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	tcfg.N = sw.N()
+	gens, err := traffic.Build(tcfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	m, err := sw.Run(gens, warmup, measure)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{
+		Load:       tcfg.Load,
+		Metrics:    m,
+		Throughput: m.ThroughputPerPort(sw.N()),
+		MeanSlots:  m.MeanLatencySlots(),
+	}, nil
+}
+
 // Sweep runs a fresh switch per load point and reports delay vs
-// throughput — the Fig. 7 measurement harness.
+// throughput — the Fig. 7 measurement harness. Load points are
+// statistically independent: point i draws its traffic from the derived
+// seed sim.DeriveSeed(seed, i), never from a stream shared with another
+// point. Points run concurrently on up to GOMAXPROCS workers; results
+// are keyed by point index, so output order and content are identical
+// to a serial sweep (see SweepN to pin the worker count).
 func Sweep(base Config, mkSched func() sched.Scheduler, loads []float64, seed uint64, warmup, measure uint64) ([]RunResult, error) {
+	return SweepN(base, mkSched, loads, seed, warmup, measure, 0)
+}
+
+// SweepN is Sweep with an explicit worker count (<= 0 selects
+// GOMAXPROCS, 1 forces the serial path). A sweep that shares one
+// pre-built Scheduler instance across multiple points (mkSched nil and
+// base.Scheduler set) always runs serially: the scheduler's state
+// legitimately carries from point to point there, and ticking it
+// concurrently would race.
+func SweepN(base Config, mkSched func() sched.Scheduler, loads []float64, seed uint64, warmup, measure uint64, workers int) ([]RunResult, error) {
+	if mkSched == nil && base.Scheduler != nil && len(loads) > 1 {
+		workers = 1
+	}
+	type point struct {
+		r   RunResult
+		err error
+	}
+	out := parallel.Map(len(loads), workers, func(i int) point {
+		tcfg := traffic.Config{Kind: traffic.KindUniform, Load: loads[i], Seed: sim.DeriveSeed(seed, uint64(i))}
+		r, err := runPoint(base, mkSched, tcfg, warmup, measure)
+		return point{r, err}
+	})
 	results := make([]RunResult, 0, len(loads))
-	for _, load := range loads {
-		cfg := base
-		if mkSched != nil {
-			cfg.Scheduler = mkSched()
+	for _, p := range out {
+		if p.err != nil {
+			return nil, p.err
 		}
-		sw, err := New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		gens, err := traffic.Build(traffic.Config{
-			Kind: traffic.KindUniform, N: sw.N(), Load: load, Seed: seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		m, err := sw.Run(gens, warmup, measure)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, RunResult{
-			Load:       load,
-			Metrics:    m,
-			Throughput: m.ThroughputPerPort(sw.N()),
-			MeanSlots:  m.MeanLatencySlots(),
-		})
+		results = append(results, p.r)
 	}
 	return results, nil
+}
+
+// Replicate fans one workload configuration across reps independent
+// replications — replication r replaces tcfg.Seed with
+// sim.DeriveSeed(tcfg.Seed, r) — and folds the per-replication metrics
+// into one Metrics with Merge, in replication order. This is the
+// batched-replication scheme of the paper's methodology: R shorter
+// windows on R cores instead of one long window on one, with identical
+// estimator math. mkSched must be non-nil when base.Scheduler is set
+// and reps > 1, so every replication owns its scheduler.
+func Replicate(base Config, mkSched func() sched.Scheduler, tcfg traffic.Config, reps int, warmup, measure uint64) (*Metrics, error) {
+	return ReplicateN(base, mkSched, tcfg, reps, warmup, measure, 0)
+}
+
+// ReplicateN is Replicate with an explicit worker count (<= 0 selects
+// GOMAXPROCS, 1 forces the serial path).
+func ReplicateN(base Config, mkSched func() sched.Scheduler, tcfg traffic.Config, reps int, warmup, measure uint64, workers int) (*Metrics, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("crossbar: %d replications requested", reps)
+	}
+	if mkSched == nil && base.Scheduler != nil && reps > 1 {
+		return nil, fmt.Errorf("crossbar: replications need a scheduler factory, not one shared %T instance", base.Scheduler)
+	}
+	type point struct {
+		r   RunResult
+		err error
+	}
+	baseSeed := tcfg.Seed
+	out := parallel.Map(reps, workers, func(i int) point {
+		rcfg := tcfg
+		rcfg.Seed = sim.DeriveSeed(baseSeed, uint64(i))
+		r, err := runPoint(base, mkSched, rcfg, warmup, measure)
+		return point{r, err}
+	})
+	merged := &Metrics{}
+	for _, p := range out {
+		if p.err != nil {
+			return nil, p.err
+		}
+		merged.Merge(p.r.Metrics)
+	}
+	return merged, nil
 }

@@ -1,11 +1,14 @@
 package crossbar
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/packet"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/traffic"
 	"repro/internal/units"
 )
@@ -235,5 +238,137 @@ func TestMismatchedGeneratorsError(t *testing.T) {
 	sw, _ := New(Config{N: 8, Scheduler: sched.NewFLPPR(8, 0)})
 	if _, err := sw.Run(make([]traffic.Generator, 3), 1, 1); err == nil {
 		t.Error("mismatched generator count should return an error")
+	}
+}
+
+// renderSweep reduces sweep results to a canonical byte form so the
+// equivalence tests compare content bit-exactly.
+func renderSweep(res []RunResult) string {
+	var sb strings.Builder
+	for _, r := range res {
+		fmt.Fprintf(&sb, "%v %d %d %d %v %v %.17g %.17g %d %d %d\n",
+			r.Load, r.Metrics.Offered, r.Metrics.Delivered, r.Metrics.Dropped,
+			r.Metrics.Latency.Mean(), r.Metrics.Latency.P99(),
+			r.Throughput, r.MeanSlots,
+			r.Metrics.MaxVOQDepth, r.Metrics.MaxEgressDepth, r.Metrics.OrderViolations)
+	}
+	return sb.String()
+}
+
+// TestSweepSerialEquivalence: a concurrent sweep must be bit-identical
+// to the serial sweep of the same loads and seed.
+func TestSweepSerialEquivalence(t *testing.T) {
+	base := Config{N: 16, Receivers: 2}
+	mk := func() sched.Scheduler { return sched.NewFLPPR(16, 0) }
+	loads := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.95}
+	serialRes, err := SweepN(base, mk, loads, 31, 300, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := renderSweep(serialRes)
+	for _, workers := range []int{2, 4, 0} {
+		parRes, err := SweepN(base, mk, loads, 31, 300, 2000, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par := renderSweep(parRes); par != serial {
+			t.Errorf("workers=%d sweep diverged from serial:\nserial:\n%s\npar:\n%s", workers, serial, par)
+		}
+	}
+}
+
+// TestSweepPointsIndependent: a point's result depends only on (base
+// seed, point index), not on which other points the sweep contains —
+// the property the per-point derived seeds buy.
+func TestSweepPointsIndependent(t *testing.T) {
+	base := Config{N: 16, Receivers: 2}
+	mk := func() sched.Scheduler { return sched.NewFLPPR(16, 0) }
+	whole, err := Sweep(base, mk, []float64{0.2, 0.5, 0.8}, 31, 300, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Sweep(base, mk, []float64{0.5, 0.5}, 31, 300, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same (index, load, seed) must reproduce across sweeps of
+	// different shapes...
+	if renderSweep(whole[1:2]) != renderSweep(same[1:2]) {
+		t.Error("point (index 1, load 0.5) differs between sweeps; point seeds are not a pure function of (seed, index)")
+	}
+	// ...while distinct indices draw distinct traffic: two points at the
+	// same load must not be sample-identical.
+	if renderSweep(same[:1]) == renderSweep(same[1:]) {
+		t.Error("two sweep points at the same load produced identical samples; seeds are not being derived per point")
+	}
+}
+
+// TestSweepSharedSchedulerSerialFallback: a sweep over a single shared
+// scheduler instance must still work (it runs serially) and keep the
+// historical point-to-point state carry-over semantics.
+func TestSweepSharedSchedulerSerialFallback(t *testing.T) {
+	base := Config{N: 16, Receivers: 2, Scheduler: sched.NewFLPPR(16, 0)}
+	res, err := Sweep(base, nil, []float64{0.2, 0.5, 0.8}, 31, 300, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, r := range res {
+		if r.Metrics.Delivered == 0 {
+			t.Errorf("load %.1f delivered nothing", r.Load)
+		}
+	}
+}
+
+// TestReplicateMergesReplications: Replicate(R) must equal running the
+// R derived-seed points by hand and merging their metrics in order.
+func TestReplicateMergesReplications(t *testing.T) {
+	base := Config{N: 16, Receivers: 2}
+	mk := func() sched.Scheduler { return sched.NewFLPPR(16, 0) }
+	const reps = 4
+	tcfg := traffic.Config{Kind: traffic.KindUniform, Load: 0.7, Seed: 9}
+	got, err := Replicate(base, mk, tcfg, reps, 300, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Metrics{}
+	for r := 0; r < reps; r++ {
+		rcfg := tcfg
+		rcfg.Seed = sim.DeriveSeed(9, uint64(r))
+		one, err := runPoint(base, mk, rcfg, 300, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Merge(one.Metrics)
+	}
+	if got.Offered != want.Offered || got.Delivered != want.Delivered ||
+		got.Latency.N() != want.Latency.N() ||
+		got.Latency.Mean() != want.Latency.Mean() ||
+		got.Latency.P99() != want.Latency.P99() ||
+		got.GrantLatency.Mean() != want.GrantLatency.Mean() ||
+		got.MaxVOQDepth != want.MaxVOQDepth {
+		t.Errorf("Replicate differs from manual merge:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got.MeasureSlots != reps*1500 {
+		t.Errorf("MeasureSlots %d, want %d", got.MeasureSlots, reps*1500)
+	}
+	// Throughput normalization still works on the merged window.
+	if th := got.ThroughputPerPort(16); math.Abs(th-0.7) > 0.05 {
+		t.Errorf("merged throughput %.3f should track 0.7 load", th)
+	}
+}
+
+// TestReplicateRejectsSharedScheduler: replications may not share one
+// scheduler instance.
+func TestReplicateRejectsSharedScheduler(t *testing.T) {
+	base := Config{N: 8, Receivers: 2, Scheduler: sched.NewFLPPR(8, 0)}
+	tcfg := traffic.Config{Kind: traffic.KindUniform, Load: 0.5, Seed: 1}
+	if _, err := Replicate(base, nil, tcfg, 2, 10, 10); err == nil {
+		t.Error("shared-scheduler replication should be rejected")
+	}
+	if _, err := Replicate(Config{N: 8}, nil, tcfg, 0, 10, 10); err == nil {
+		t.Error("0 replications should be rejected")
 	}
 }

@@ -20,23 +20,44 @@ import (
 type RunConfig struct {
 	// Quick shrinks simulation windows for benchmarks and smoke tests.
 	Quick bool
-	// Seed drives all stochastic inputs; 0 selects the default.
+	// Seed drives all stochastic inputs. The zero value is NOT a usable
+	// seed: it means "unset" and selects DefaultSeed, so that the zero
+	// RunConfig is runnable. Callers that accept seeds from users (the
+	// cmd/experiments -seed flag) must reject an explicit 0 rather than
+	// let it silently alias the default.
 	Seed uint64
 }
 
+// DefaultSeed is the seed a zero RunConfig runs with; every recorded
+// table in EXPERIMENTS.md was produced with it.
+const DefaultSeed uint64 = 1
+
 func (c RunConfig) seed() uint64 {
 	if c.Seed == 0 {
-		return 1
+		return DefaultSeed
 	}
 	return c.Seed
 }
 
-// warmupMeasure picks simulation windows by mode.
+// warmupMeasure picks simulation windows by mode. Quick mode divides
+// both windows by 8 but never below one slot for a window that was
+// non-zero at full fidelity: a 0-slot measurement window would silently
+// produce empty statistics, and a warm-up that vanishes entirely would
+// bias them with transient startup state. (A warm-up of 0 requested at
+// full fidelity stays 0 — some experiments deliberately measure the
+// transient.)
 func (c RunConfig) warmupMeasure(warm, meas uint64) (uint64, uint64) {
-	if c.Quick {
-		return warm / 8, meas / 8
+	if !c.Quick {
+		return warm, meas
 	}
-	return warm, meas
+	w, m := warm/8, meas/8
+	if warm > 0 && w == 0 {
+		w = 1
+	}
+	if meas > 0 && m == 0 {
+		m = 1
+	}
+	return w, m
 }
 
 // Finding is one headline result with the paper's expectation alongside.

@@ -1,9 +1,53 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
+
+// TestSeedContract pins the documented RunConfig.Seed semantics: the
+// zero value means "unset" and selects DefaultSeed; any nonzero value
+// is used verbatim.
+func TestSeedContract(t *testing.T) {
+	if got := (RunConfig{}).seed(); got != DefaultSeed {
+		t.Errorf("zero RunConfig seed() = %d, want DefaultSeed %d", got, DefaultSeed)
+	}
+	for _, s := range []uint64{1, 7, 1 << 50} {
+		if got := (RunConfig{Seed: s}).seed(); got != s {
+			t.Errorf("seed() = %d, want %d verbatim", got, s)
+		}
+	}
+}
+
+// TestWarmupMeasureQuickFloor is the regression test for quick-mode
+// window truncation: warm/8 and meas/8 used to round small windows down
+// to zero slots, silently producing empty or warm-up-free measurements.
+func TestWarmupMeasureQuickFloor(t *testing.T) {
+	quick := RunConfig{Quick: true}
+	cases := []struct {
+		warm, meas         uint64
+		wantWarm, wantMeas uint64
+	}{
+		{1600, 8000, 200, 1000}, // normal shrink unaffected
+		{7, 7, 1, 1},            // used to become 0, 0
+		{0, 6000, 0, 750},       // requested-zero warm-up stays zero (fig4 measures the transient)
+		{8, 4, 1, 1},            // exact /8 boundary and below-floor together
+		{0, 1, 0, 1},
+	}
+	for _, c := range cases {
+		w, m := quick.warmupMeasure(c.warm, c.meas)
+		if w != c.wantWarm || m != c.wantMeas {
+			t.Errorf("quick warmupMeasure(%d, %d) = (%d, %d), want (%d, %d)",
+				c.warm, c.meas, w, m, c.wantWarm, c.wantMeas)
+		}
+	}
+	// Full fidelity passes windows through untouched.
+	full := RunConfig{}
+	if w, m := full.warmupMeasure(7, 7); w != 7 || m != 7 {
+		t.Errorf("full warmupMeasure(7, 7) = (%d, %d)", w, m)
+	}
+}
 
 func TestRegistry(t *testing.T) {
 	all := All()
@@ -119,6 +163,49 @@ func TestResultRendering(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered result missing %q", want)
 		}
+	}
+}
+
+// renderAll runs every registered experiment through RunMany at the
+// given parallelism and renders the outcomes in canonical order.
+func renderAll(t *testing.T, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, o := range RunMany(All(), RunConfig{Quick: true}, workers) {
+		if o.Err != nil {
+			t.Fatalf("%s (workers=%d): %v", o.Experiment.ID, workers, o.Err)
+		}
+		o.Result.Write(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelSerialEquivalence is the tentpole guarantee: the full
+// quick-mode suite renders byte-identically whether the experiments run
+// serially or on a concurrent worker pool.
+func TestParallelSerialEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	serial := renderAll(t, 1)
+	par := renderAll(t, 4)
+	if !bytes.Equal(serial, par) {
+		d := 0
+		for d < len(serial) && d < len(par) && serial[d] == par[d] {
+			d++
+		}
+		lo, hi := d-80, d+80
+		if lo < 0 {
+			lo = 0
+		}
+		clip := func(b []byte) string {
+			if hi > len(b) {
+				return string(b[lo:])
+			}
+			return string(b[lo:hi])
+		}
+		t.Fatalf("parallel output diverges from serial at byte %d:\nserial: %q\npar:    %q",
+			d, clip(serial), clip(par))
 	}
 }
 

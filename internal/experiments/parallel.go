@@ -1,0 +1,24 @@
+package experiments
+
+import "repro/internal/parallel"
+
+// Outcome is one experiment's completed run (or its failure).
+type Outcome struct {
+	Experiment Experiment
+	Result     *Result
+	Err        error
+}
+
+// RunMany executes the experiments on up to workers concurrent runs
+// (<= 0 selects GOMAXPROCS; 1 runs them inline in input order, exactly
+// like the historical serial loop). Outcomes are keyed by input index,
+// so rendering them in order produces byte-identical output whatever
+// the worker count: every experiment builds its own switches,
+// generators, and collectors from cfg, and shares no mutable state with
+// its neighbours.
+func RunMany(es []Experiment, cfg RunConfig, workers int) []Outcome {
+	return parallel.Map(len(es), workers, func(i int) Outcome {
+		res, err := es[i].Run(cfg)
+		return Outcome{Experiment: es[i], Result: res, Err: err}
+	})
+}

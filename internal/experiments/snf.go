@@ -70,7 +70,7 @@ func runGuard(_ RunConfig) (*Result, error) {
 		"close to 75% effective user bandwidth (SVI.C)",
 		fmt.Sprintf("%.1f%% at %v guard", demo.EffectiveUserBandwidthFraction()*100, demo.GuardTime),
 		demo.EffectiveUserBandwidthFraction() > 0.72 && demo.EffectiveUserBandwidthFraction() < 0.85)
-	cross := eff.XWhereY(0.75)
+	cross := eff.XWhereYDown(0.75)
 	res.AddFinding("guard-time headroom",
 		"sub-ns SOA guard times (DPSK saturation) buy user bandwidth or shorter cells",
 		fmt.Sprintf("75%% line crossed at %.1f ns guard; sub-ns guard yields %.1f%%",

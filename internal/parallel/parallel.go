@@ -1,0 +1,105 @@
+// Package parallel is the simulator's deterministic fan-out layer: a
+// bounded worker pool whose results are keyed by input index, so a
+// parallel run produces output that is bit-identical to a serial run of
+// the same work items.
+//
+// Determinism contract: callers must hand the pool *independent* work
+// items — each item owns its RNG stream (derived with sim.DeriveSeed or
+// RNG.Fork), its allocator, and its collectors. The pool guarantees
+// only that item i's result lands in slot i and that all items complete
+// before Map/Run return; it deliberately provides no cross-item
+// communication that could introduce schedule-dependent behaviour.
+//
+// Workers <= 0 selects GOMAXPROCS. Workers == 1 runs the items inline
+// on the calling goroutine in index order — the exact serial execution,
+// with no goroutines spawned — which is what `-par 1` reproductions and
+// the serial-equivalence tests rely on.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers clamps a requested worker count to a usable pool size:
+// non-positive requests become GOMAXPROCS, and the pool never exceeds
+// the number of work items n.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n >= 0 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(0..n-1) on a pool of the given size and returns the
+// results keyed by index: out[i] = fn(i). With workers == 1 the calls
+// happen inline in index order. A panic in any item is re-raised on the
+// calling goroutine after the pool drains, so failures surface exactly
+// as they would serially.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	Run(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Run executes fn(0..n-1) with the given parallelism and blocks until
+// every call returns. Results must be written to index-keyed storage by
+// fn itself (see Map).
+func Run(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		//lint:ignore panicfree re-raises a worker panic on the caller so parallel failures surface exactly like serial ones
+		panic(panicked)
+	}
+}

@@ -1,0 +1,92 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamp(t *testing.T) {
+	maxp := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, maxp},  // default = GOMAXPROCS
+		{-3, 100, maxp}, // negative = GOMAXPROCS
+		{4, 2, 2},       // never more workers than items
+		{1, 100, 1},
+		{8, 100, 8}, // explicit counts are honored even above GOMAXPROCS
+		{3, 0, 1},   // degenerate: at least one
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMapIndexKeyed(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		got := Map(100, workers, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapSerialEquivalence is the pool's core guarantee: the result
+// slice is identical whatever the parallelism.
+func TestMapSerialEquivalence(t *testing.T) {
+	fn := func(i int) uint64 {
+		// A cheap deterministic per-item computation.
+		x := uint64(i)*0x9e3779b97f4a7c15 + 1
+		x ^= x >> 31
+		return x * x
+	}
+	serial := Map(257, 1, fn)
+	for _, workers := range []int{2, 3, 16} {
+		par := Map(257, workers, fn)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, serial %d", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestRunCompletesAllItems(t *testing.T) {
+	var count atomic.Int64
+	Run(1000, 7, func(i int) { count.Add(1) })
+	if count.Load() != 1000 {
+		t.Errorf("ran %d of 1000 items", count.Load())
+	}
+}
+
+func TestRunZeroItems(t *testing.T) {
+	Run(0, 4, func(i int) { t.Error("fn called with n=0") })
+	if out := Map(0, 4, func(i int) int { return i }); out != nil {
+		t.Errorf("Map(0) = %v, want nil", out)
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			Run(10, workers, func(i int) {
+				if i == 5 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}

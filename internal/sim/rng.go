@@ -43,6 +43,21 @@ func (r *RNG) Fork(label uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (label * 0xd1342543de82ef95))
 }
 
+// DeriveSeed maps (base, label) to an independent child seed through the
+// SplitMix64 stream splitter, without touching any RNG state. It is the
+// seed-derivation scheme for parallel fan-out: replication r of a run
+// seeded with s uses DeriveSeed(s, r), so the set of child streams is a
+// pure function of (base seed, index) and is identical whether the
+// children execute serially or concurrently. Distinct labels yield
+// decorrelated streams even for adjacent bases (the label is spread by
+// an odd multiplier before mixing, the same constant Fork uses).
+func DeriveSeed(base, label uint64) uint64 {
+	x := base
+	_ = splitmix64(&x) // decorrelate adjacent bases before the label lands
+	x ^= label * 0xd1342543de82ef95
+	return splitmix64(&x)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

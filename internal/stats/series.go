@@ -21,10 +21,30 @@ type Series struct {
 // Add appends a point.
 func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
 
-// YAt reports the y value at the first point with the given x, or NaN.
+// xTol is the relative tolerance for matching x coordinates. Sweep
+// harnesses compute x values (loads, capacities) in floating point, so
+// two series can disagree about "the same" x by an ulp or two — e.g.
+// 0.3 vs 0.30000000000000004 from 3*0.1. A relative 1e-9 (absolute near
+// zero) is ~7 orders of magnitude above accumulated rounding error yet
+// far below the spacing of any real sweep grid.
+const xTol = 1e-9
+
+// sameX reports whether two x coordinates are equal within xTol.
+func sameX(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= xTol*math.Max(scale, 1)
+}
+
+// YAt reports the y value at the first point whose x matches the given
+// x within a small relative tolerance (see sameX), or NaN. Exact float
+// equality would make YAt(0.3) miss a point stored at the nearest
+// representable value of a computed load.
 func (s *Series) YAt(x float64) float64 {
 	for _, p := range s.Points {
-		if p.X == x {
+		if sameX(p.X, x) {
 			return p.Y
 		}
 	}
@@ -58,16 +78,31 @@ func (s *Series) Interp(x float64) float64 {
 }
 
 // XWhereY reports the smallest x (by linear interpolation between
-// consecutive points) at which the series first reaches y going upward.
-// Returns NaN if the series never crosses y.
+// consecutive points) at which the series first reaches y going upward:
+// the first segment that starts below y and ends at or above it.
+// Downward crossings are deliberately not matched — a series that
+// starts above y and decays through it never "reaches" y in this sense.
+// Returns NaN if the series never crosses y upward.
 func (s *Series) XWhereY(y float64) float64 {
 	for i := 1; i < len(s.Points); i++ {
 		a, b := s.Points[i-1], s.Points[i]
-		if (a.Y < y && b.Y >= y) || (a.Y > y && b.Y <= y) {
-			if b.Y == a.Y {
-				return a.X
-			}
+		if a.Y < y && b.Y >= y {
 			f := (y - a.Y) / (b.Y - a.Y)
+			return a.X + f*(b.X-a.X)
+		}
+	}
+	return math.NaN()
+}
+
+// XWhereYDown is the downward counterpart of XWhereY: the smallest x at
+// which the series first falls to y — the first segment that starts
+// above y and ends at or below it. Upward crossings are not matched.
+// Returns NaN if the series never crosses y downward.
+func (s *Series) XWhereYDown(y float64) float64 {
+	for i := 1; i < len(s.Points); i++ {
+		a, b := s.Points[i-1], s.Points[i]
+		if a.Y > y && b.Y <= y {
+			f := (a.Y - y) / (a.Y - b.Y)
 			return a.X + f*(b.X-a.X)
 		}
 	}
@@ -105,7 +140,10 @@ func (t *Table) Lookup(name string) *Series {
 	return nil
 }
 
-// xValues returns the sorted union of x values across all series.
+// xValues returns the sorted union of x values across all series,
+// collapsing values that differ only by floating-point noise (sameX)
+// into one row — otherwise two series computing "the same" load from
+// different arithmetic would each get a half-empty row.
 func (t *Table) xValues() []float64 {
 	seen := map[float64]bool{}
 	var xs []float64
@@ -122,7 +160,13 @@ func (t *Table) xValues() []float64 {
 			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}
-	return xs
+	dedup := xs[:0]
+	for _, x := range xs {
+		if len(dedup) == 0 || !sameX(dedup[len(dedup)-1], x) {
+			dedup = append(dedup, x)
+		}
+	}
+	return dedup
 }
 
 // Write renders the table as aligned text columns: one row per x value,

@@ -194,6 +194,19 @@ func (s *LatencySample) Min() units.Time {
 	return units.Time(s.run.Min())
 }
 
+// Merge folds other's samples into s (parallel-batch combination):
+// after the merge, s reports exactly what one collector that had seen
+// both sample sets would report — quantiles included, since every raw
+// observation is retained. other is left unchanged.
+func (s *LatencySample) Merge(other *LatencySample) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	s.samples = append(s.samples, other.samples...)
+	s.sorted = false
+	s.run.Merge(&other.run)
+}
+
 // Reset clears all samples.
 func (s *LatencySample) Reset() {
 	s.samples = s.samples[:0]

@@ -86,6 +86,92 @@ func TestRunningMergeProperty(t *testing.T) {
 	}
 }
 
+// TestRunningMergeKWayProperty: merging K partial collectors in order
+// equals one-shot accumulation, for any deterministic partition of the
+// input — the invariant parallel replication folding relies on.
+func TestRunningMergeKWayProperty(t *testing.T) {
+	rng := sim.NewRNG(2026)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		k := 1 + rng.Intn(8)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()*2000 - 1000
+		}
+		var whole Running
+		parts := make([]Running, k)
+		for i, v := range vals {
+			whole.Add(v)
+			parts[i%k].Add(v)
+		}
+		var merged Running
+		for i := range parts {
+			merged.Merge(&parts[i])
+		}
+		if merged.N() != whole.N() {
+			t.Fatalf("trial %d: N %d != %d", trial, merged.N(), whole.N())
+		}
+		if math.Abs(merged.Mean()-whole.Mean()) > 1e-9 ||
+			math.Abs(merged.Variance()-whole.Variance()) > 1e-6 ||
+			merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("trial %d (n=%d k=%d): merged mean/var/min/max %v/%v/%v/%v, one-shot %v/%v/%v/%v",
+				trial, n, k,
+				merged.Mean(), merged.Variance(), merged.Min(), merged.Max(),
+				whole.Mean(), whole.Variance(), whole.Min(), whole.Max())
+		}
+	}
+}
+
+// TestLatencySampleMergeKWayProperty: the sample merge is exact — the
+// merged collector holds every raw observation, so mean, min/max, and
+// every quantile equal the one-shot collector's bit for bit.
+func TestLatencySampleMergeKWayProperty(t *testing.T) {
+	rng := sim.NewRNG(77)
+	quantiles := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1}
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(500)
+		k := 1 + rng.Intn(6)
+		var whole LatencySample
+		parts := make([]LatencySample, k)
+		for i := 0; i < n; i++ {
+			v := units.Time(rng.Intn(1_000_000)) * units.Picosecond
+			whole.Add(v)
+			parts[i%k].Add(v)
+		}
+		// Query some partials before merging so pre-sorted state is
+		// exercised too.
+		_ = parts[0].Median()
+		var merged LatencySample
+		for i := range parts {
+			merged.Merge(&parts[i])
+		}
+		// Min/max/count and every quantile are exact (the raw samples are
+		// retained); the streaming moments match to float tolerance (the
+		// pairwise merge reorders Welford's arithmetic).
+		if merged.N() != whole.N() ||
+			merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("trial %d: merged summary diverged: %v vs %v", trial, merged.String(), whole.String())
+		}
+		if math.Abs(float64(merged.Mean()-whole.Mean())) > 1 ||
+			math.Abs(merged.StdDev()-whole.StdDev()) > 1e-6*(1+whole.StdDev()) {
+			t.Fatalf("trial %d: merged moments diverged: %v vs %v", trial, merged.String(), whole.String())
+		}
+		for _, q := range quantiles {
+			if merged.Quantile(q) != whole.Quantile(q) {
+				t.Fatalf("trial %d: q%.2f: merged %v, one-shot %v", trial, q, merged.Quantile(q), whole.Quantile(q))
+			}
+		}
+	}
+	// Merging an empty or nil sample is a no-op.
+	var s, empty LatencySample
+	s.Add(5)
+	s.Merge(&empty)
+	s.Merge(nil)
+	if s.N() != 1 || s.Median() != 5 {
+		t.Errorf("no-op merge changed the sample: %v", s.String())
+	}
+}
+
 func TestLatencySampleQuantiles(t *testing.T) {
 	var s LatencySample
 	for i := 1; i <= 100; i++ {
