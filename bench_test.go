@@ -437,6 +437,7 @@ type benchBoard struct {
 
 func (bb *benchBoard) N() int                 { return bb.n }
 func (bb *benchBoard) Receivers() int         { return 2 }
+func (bb *benchBoard) ReceiversAt(int) int    { return 2 }
 func (bb *benchBoard) Demand(in, out int) int { return bb.demand[in][out] }
 func (bb *benchBoard) Commit(in, out int)     {}
 func (bb *benchBoard) Uncommit(in, out int)   {}

@@ -11,6 +11,7 @@
 //	osmosis -sweep 0.1,0.3,0.5,0.7,0.9,0.99   # delay-vs-load curve
 //	osmosis -reps 8                           # 8 parallel replications, merged stats
 //	osmosis -table1                           # verify Table 1 at the ASIC target
+//	osmosis -faults rx:3@4000,stall:50@8000   # degradation run with fault injection
 //
 // Sweeps and replications run concurrently on up to GOMAXPROCS workers;
 // each point derives its own RNG seed from (-seed, point index), so the
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crossbar"
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -49,6 +51,7 @@ func main() {
 		sweepStr  = flag.String("sweep", "", "comma-separated loads for a delay-vs-load sweep")
 		table1    = flag.Bool("table1", false, "verify Table 1 at the ASIC target format and exit")
 		asic      = flag.Bool("asic", false, "use the ASIC-target cell format (12 GByte/s ports)")
+		faultSpec = flag.String("faults", "", "fault campaign, e.g. rx:3@2000,ber:0=1e-4@5000+1000,stall:50@4000,rand:4@1000-8000")
 	)
 	flag.Parse()
 
@@ -59,6 +62,16 @@ func main() {
 	sysCfg.SubSchedulers = *param
 	sysCfg.ControlRTTCycles = *rttCycles
 	sysCfg.Seed = *seed
+	if *faultSpec != "" {
+		if *sweepStr != "" || *reps > 1 || *table1 {
+			fatal(fmt.Errorf("-faults runs a single degradation measurement; drop -sweep/-reps/-table1"))
+		}
+		spec, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		sysCfg.Faults = spec
+	}
 	if *asic || *table1 {
 		sysCfg.Format = core.ASICTargetFormat()
 	}
@@ -162,6 +175,27 @@ func main() {
 		}
 		fmt.Printf("merged statistics over %d independent replications (derived seeds)\n", *reps)
 		printMetrics(m, *ports)
+		return
+	}
+
+	if *faultSpec != "" {
+		dr, err := sys.RunDegradation(tcfg, *warmup, *measure)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fault campaign: %d event(s), %d transition(s) applied, %d skipped\n",
+			dr.Schedule.Len(), dr.Applied, dr.Skipped)
+		for _, e := range dr.Schedule.Events() {
+			fmt.Printf("  %s\n", e)
+		}
+		fmt.Printf("\nepoch  slots              thr/port  p99_cycles  rx_down  active\n")
+		for i, e := range dr.Epochs {
+			fmt.Printf("%5d  [%7d,%7d)  %.4f    %8.1f  %7d  %6d\n",
+				i, e.FromSlot, e.ToSlot, e.Throughput(*ports), e.P99Slots, e.ReceiversDown, e.ActiveFaults)
+		}
+		fmt.Printf("\nwhole-window metrics (%d receiver(s) down, %d gate fault(s) at end, %d stalled slots):\n",
+			dr.ReceiversDown, dr.GateFaults, dr.Stalls)
+		printMetrics(dr.Metrics, *ports)
 		return
 	}
 

@@ -14,6 +14,16 @@ var determinismScope = []string{
 	"internal/sched",
 	"internal/crossbar",
 	"internal/experiments",
+	"internal/fault",
+}
+
+// faultSeedScope is the subtree where RNGs must be built from derived
+// stream seeds. Fault schedules share the experiment base seed with the
+// traffic generators; only sim.DeriveSeed keeps their draws on a
+// disjoint stream, so adding a fault campaign never perturbs the
+// traffic processes of the run it degrades.
+var faultSeedScope = []string{
+	"internal/fault",
 }
 
 // randConstructors are the math/rand identifiers that build explicitly
@@ -45,13 +55,41 @@ func inScope(pkgPath string, subtrees []string) bool {
 	return false
 }
 
+// isSimFunc reports whether fun resolves to the named package-level
+// function of internal/sim.
+func isSimFunc(pass *Pass, fun ast.Expr, name string) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Name() != name {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "internal/sim" || strings.HasSuffix(path, "/internal/sim")
+}
+
 func runDeterminism(pass *Pass) {
 	if !inScope(pass.PkgPath, determinismScope) {
 		return
 	}
+	checkFaultSeeds := inScope(pass.PkgPath, faultSeedScope)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !checkFaultSeeds || !isSimFunc(pass, n.Fun, "NewRNG") {
+					return true
+				}
+				if len(n.Args) == 1 {
+					if call, ok := ast.Unparen(n.Args[0]).(*ast.CallExpr); ok &&
+						isSimFunc(pass, call.Fun, "DeriveSeed") {
+						return true
+					}
+				}
+				pass.Reportf(n.Pos(),
+					"fault-schedule RNGs must be seeded with a sim.DeriveSeed(...) call so fault draws stay on a stream disjoint from traffic")
 			case *ast.SelectorExpr:
 				obj := pass.TypesInfo.Uses[n.Sel]
 				if obj == nil || obj.Pkg() == nil {

@@ -21,6 +21,7 @@ var fixtureCases = []struct {
 	pkgPath  string
 }{
 	{"determinism", analysis.Determinism, "repro/internal/sim/fixture"},
+	{"faultseed", analysis.Determinism, "repro/internal/fault/fixture"},
 	{"unitsafety", analysis.UnitSafety, "repro/internal/optics/fixture"},
 	{"panicfree", analysis.PanicFree, "repro/internal/fec/fixture"},
 	{"errcheck", analysis.ErrCheck, "repro/internal/link/fixture"},
@@ -131,8 +132,11 @@ func TestScopedAnalyzersStayQuietOutOfScope(t *testing.T) {
 		analyzer *analysis.Analyzer
 		pkgPath  string
 	}{
-		// determinism is scoped to sim/sched/crossbar/experiments.
+		// determinism is scoped to sim/sched/crossbar/experiments/fault.
 		{"determinism", analysis.Determinism, "repro/internal/optics"},
+		// the DeriveSeed rule fires only inside internal/fault; the same
+		// raw-seeded RNGs are legitimate in e.g. internal/link tests.
+		{"faultseed", analysis.Determinism, "repro/internal/optics"},
 		// panicfree is scoped to internal/ library code.
 		{"panicfree", analysis.PanicFree, "repro/cmd/sometool"},
 	}

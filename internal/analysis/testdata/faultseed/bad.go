@@ -1,0 +1,21 @@
+// Package fixture seeds violations of the fault-stream seeding rule:
+// inside internal/fault every RNG must be built from a derived stream
+// seed, never from a raw or arithmetically tweaked base seed.
+package fixture
+
+import "repro/internal/sim"
+
+func rawSeed(seed uint64) *sim.RNG {
+	return sim.NewRNG(seed) // want:determinism "sim.DeriveSeed"
+}
+
+// offsetSeed shows why the rule demands DeriveSeed rather than "any
+// expression": seed+1 collides with the traffic stream of the next
+// replication index.
+func offsetSeed(seed uint64) *sim.RNG {
+	return sim.NewRNG(seed + 1) // want:determinism "sim.DeriveSeed"
+}
+
+func constantSeed() *sim.RNG {
+	return sim.NewRNG(42) // want:determinism "sim.DeriveSeed"
+}

@@ -1,0 +1,18 @@
+package fixture
+
+import "repro/internal/sim"
+
+// streamLabel mirrors fault.StreamLabel: a reserved label keeping the
+// fault stream disjoint from every traffic stream.
+const streamLabel = 0xFA17
+
+// derived is the required pattern: the base seed is split through
+// sim.DeriveSeed before it reaches an RNG.
+func derived(seed uint64) *sim.RNG {
+	return sim.NewRNG(sim.DeriveSeed(seed, streamLabel))
+}
+
+// parenthesized derivations are still derivations.
+func derivedParens(seed uint64) *sim.RNG {
+	return (sim.NewRNG)((sim.DeriveSeed(seed, streamLabel)))
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/crossbar"
+	"repro/internal/fault"
 	"repro/internal/optics"
 	"repro/internal/packet"
 	"repro/internal/sched"
@@ -50,6 +51,10 @@ type Config struct {
 	ControlRTTCycles int
 	// Seed drives all stochastic inputs.
 	Seed uint64
+	// Faults is the fault campaign RunDegradation injects; the zero value
+	// runs healthy. Random components draw from the fault stream derived
+	// from Seed, so a faulted run never perturbs the traffic processes.
+	Faults fault.Spec
 }
 
 // DemonstratorConfig returns the §V hardware configuration: 64 ports at

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/traffic"
+)
+
+// faultedConfig is a small system the degradation tests share.
+func faultedConfig(spec string, t *testing.T) Config {
+	t.Helper()
+	cfg := DemonstratorConfig()
+	cfg.Ports = 16
+	cfg.Receivers = 2
+	cfg.Seed = 7
+	if spec != "" {
+		fs, err := fault.ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = fs
+	}
+	return cfg
+}
+
+func runDegradation(t *testing.T, cfg Config, load float64, warmup, measure uint64) *DegradationResult {
+	t.Helper()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunDegradation(traffic.Config{Kind: traffic.KindUniform, Load: load}, warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunDegradationHealthySingleEpoch(t *testing.T) {
+	res := runDegradation(t, faultedConfig("", t), 0.8, 500, 2000)
+	if len(res.Epochs) != 1 {
+		t.Fatalf("healthy run produced %d epochs, want 1", len(res.Epochs))
+	}
+	e := res.Epochs[0]
+	if e.FromSlot != 500 || e.ToSlot != 2500 {
+		t.Errorf("epoch spans [%d,%d), want [500,2500)", e.FromSlot, e.ToSlot)
+	}
+	if e.Offered != res.Metrics.Offered || e.Delivered != res.Metrics.Delivered {
+		t.Errorf("single epoch (%d/%d) disagrees with window metrics (%d/%d)",
+			e.Offered, e.Delivered, res.Metrics.Offered, res.Metrics.Delivered)
+	}
+	if res.Applied != 0 || res.Skipped != 0 || res.ReceiversDown != 0 {
+		t.Errorf("healthy run reported fault activity: applied=%d skipped=%d down=%d",
+			res.Applied, res.Skipped, res.ReceiversDown)
+	}
+}
+
+func TestRunDegradationSegmentsAndDegrades(t *testing.T) {
+	// Two permanent receiver losses and a stall inside the window: the
+	// losses and the stall begin at three distinct slots and the stall
+	// ends at a fourth, so the window splits into 5 epochs. The traffic
+	// streams are untouched by the campaign, so offered load matches the
+	// healthy run exactly.
+	cfg := faultedConfig("rx:3@1000,rx:5@1400,stall:120@1800", t)
+	res := runDegradation(t, cfg, 0.9, 500, 2000)
+	healthy := runDegradation(t, faultedConfig("", t), 0.9, 500, 2000)
+
+	if len(res.Epochs) != 5 {
+		t.Fatalf("4 in-window transitions produced %d epochs, want 5", len(res.Epochs))
+	}
+	wantBounds := []uint64{500, 1000, 1400, 1800, 1920, 2500}
+	for i, e := range res.Epochs {
+		if e.FromSlot != wantBounds[i] || e.ToSlot != wantBounds[i+1] {
+			t.Errorf("epoch %d spans [%d,%d), want [%d,%d)", i, e.FromSlot, e.ToSlot, wantBounds[i], wantBounds[i+1])
+		}
+	}
+	if res.Applied != 3 || res.Skipped != 0 {
+		t.Errorf("applied=%d skipped=%d, want 3/0", res.Applied, res.Skipped)
+	}
+	if res.ReceiversDown != 2 {
+		t.Errorf("receivers down %d, want 2", res.ReceiversDown)
+	}
+	if res.Stalls != 120 {
+		t.Errorf("stalled slots %d, want 120", res.Stalls)
+	}
+	if res.Metrics.Offered != healthy.Metrics.Offered {
+		t.Errorf("fault campaign perturbed traffic: offered %d vs healthy %d",
+			res.Metrics.Offered, healthy.Metrics.Offered)
+	}
+	if res.Metrics.Dropped != 0 || res.Metrics.OrderViolations != 0 {
+		t.Errorf("degraded run lost cells: dropped=%d ooo=%d", res.Metrics.Dropped, res.Metrics.OrderViolations)
+	}
+	// Degradation is graceful, not free: the faulted window delivers no
+	// more than the healthy one and ends with a deeper backlog.
+	if res.Metrics.Delivered > healthy.Metrics.Delivered {
+		t.Errorf("faulted run delivered more (%d) than healthy (%d)", res.Metrics.Delivered, healthy.Metrics.Delivered)
+	}
+	if res.Epochs[0].ReceiversDown != 0 || res.Epochs[4].ReceiversDown != 2 {
+		t.Errorf("epoch damage counters: first=%d last=%d, want 0 and 2",
+			res.Epochs[0].ReceiversDown, res.Epochs[4].ReceiversDown)
+	}
+}
+
+func TestRunDegradationDeterministic(t *testing.T) {
+	spec := "rx:1@900,soaoff:2@1200+600,stall:80@1500,rand:3@600-2200+400"
+	a := runDegradation(t, faultedConfig(spec, t), 0.85, 400, 2000)
+	b := runDegradation(t, faultedConfig(spec, t), 0.85, 400, 2000)
+	if !reflect.DeepEqual(a.Schedule.Events(), b.Schedule.Events()) {
+		t.Fatal("compiled schedules differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.Epochs, b.Epochs) {
+		t.Fatal("degradation epochs differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Fatal("metrics differ between identical runs")
+	}
+	// A different base seed must move the random component.
+	cfg := faultedConfig(spec, t)
+	cfg.Seed = 8
+	c := runDegradation(t, cfg, 0.85, 400, 2000)
+	if reflect.DeepEqual(a.Schedule.Events(), c.Schedule.Events()) {
+		t.Error("random fault component ignored the seed")
+	}
+}
+
+func TestRunDegradationGateFaultsReachOptics(t *testing.T) {
+	// A stuck-off gate mid-window must be visible on the system's optical
+	// fabric (the BIST's view) when the run ends.
+	// 16 ports at 8 colors -> 2 broadcast fibers, so gate indices are 0-1.
+	res := runDegradation(t, faultedConfig("soaoff:4@1000,soaon:6.0.1@1200", t), 0.5, 500, 1500)
+	if res.GateFaults != 2 {
+		t.Errorf("optical fabric reports %d gate faults, want 2", res.GateFaults)
+	}
+	if res.Applied != 2 {
+		t.Errorf("applied %d transitions, want 2", res.Applied)
+	}
+}

@@ -12,6 +12,7 @@ package crossbar
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/packet"
 	"repro/internal/parallel"
 	"repro/internal/sched"
@@ -70,6 +71,11 @@ type Metrics struct {
 	MaxEgressDepth int
 	// OrderViolations counts out-of-order deliveries (must be zero).
 	OrderViolations uint64
+	// ReceiverRejects counts granted cells refused at execution time
+	// because a receiver fault landed after the grant was pipelined; the
+	// cells stay queued and are re-arbitrated, so they are delayed, not
+	// lost.
+	ReceiverRejects uint64
 	// CycleTime scales slots to time.
 	CycleTime units.Time
 }
@@ -94,6 +100,7 @@ func (m *Metrics) Merge(other *Metrics) {
 		m.MaxEgressDepth = other.MaxEgressDepth
 	}
 	m.OrderViolations += other.OrderViolations
+	m.ReceiverRejects += other.ReceiverRejects
 	if m.CycleTime == 0 {
 		m.CycleTime = other.CycleTime
 	}
@@ -138,9 +145,61 @@ type Switch struct {
 	// grantDelay delays matchings by ControlRTTCycles.
 	grantDelay []sched.Matching
 
+	// rxUp[out*Receivers+r] is the health of receiver r at egress out;
+	// upCount[out] caches the per-egress up total the scheduler sizes
+	// grants with. rxLoad counts cells each receiver has taken (the
+	// tie-break observability for the dual-receiver tests).
+	rxUp    []bool
+	upCount []int
+	rxLoad  []uint64
+	rxUsed  []int // per-slot receiver usage scratch
+
+	// stall freezes the arbiter for that many upcoming slots.
+	stall uint64
+	// Stalls counts slots the arbiter spent frozen.
+	Stalls uint64
+
+	// faults, when attached, is ticked at the top of every Step.
+	faults *fault.Injector
+
 	slot      uint64
 	measuring bool
 	metrics   Metrics
+	epoch     epochState
+}
+
+// epochState accumulates the measurement counters since the last
+// CutEpoch call, for per-fault-epoch degradation reporting.
+type epochState struct {
+	from                                 uint64
+	offered, delivered, dropped, rejects uint64
+	lat                                  stats.LatencySample
+}
+
+// Epoch is one segment of a degradation run: the measurement window
+// between two fault transitions.
+type Epoch struct {
+	// FromSlot (inclusive) and ToSlot (exclusive) bound the segment.
+	FromSlot, ToSlot uint64
+	// Offered, Delivered, Dropped, ReceiverRejects count cells in it.
+	Offered, Delivered, Dropped, ReceiverRejects uint64
+	// MeanSlots and P99Slots are the end-to-end latency of cells
+	// delivered in the segment, in packet cycles.
+	MeanSlots, P99Slots float64
+	// ReceiversDown is the failed-receiver count when the epoch closed.
+	ReceiversDown int
+	// ActiveFaults is the injector's active count when the epoch closed
+	// (0 when no injector is attached).
+	ActiveFaults int
+}
+
+// Throughput reports the epoch's delivered cells per port per slot.
+func (e Epoch) Throughput(n int) float64 {
+	slots := e.ToSlot - e.FromSlot
+	if slots == 0 || n == 0 {
+		return 0
+	}
+	return float64(e.Delivered) / float64(slots) / float64(n)
 }
 
 // voqSet and egressQ are thin local wrappers so the crossbar package
@@ -225,6 +284,10 @@ type board struct{ s *Switch }
 func (b board) N() int         { return b.s.cfg.N }
 func (b board) Receivers() int { return b.s.cfg.Receivers }
 
+// ReceiversAt reports the live receiver count at one egress, so the
+// arbiter never over-grants a fault-degraded output.
+func (b board) ReceiversAt(out int) int { return b.s.upCount[out] }
+
 func (b board) Demand(in, out int) int {
 	v := b.s.voqs[in]
 	d := v.backlog(out) - v.committed[out]
@@ -274,7 +337,103 @@ func New(cfg Config) (*Switch, error) {
 	for i := 0; i < cfg.ControlRTTCycles; i++ {
 		s.grantDelay = append(s.grantDelay, sched.NewMatching(cfg.N))
 	}
+	s.rxUp = make([]bool, cfg.N*cfg.Receivers)
+	for i := range s.rxUp {
+		s.rxUp[i] = true
+	}
+	s.upCount = make([]int, cfg.N)
+	for i := range s.upCount {
+		s.upCount[i] = cfg.Receivers
+	}
+	s.rxLoad = make([]uint64, cfg.N*cfg.Receivers)
+	s.rxUsed = make([]int, cfg.N)
 	return s, nil
+}
+
+// SetReceiver marks receiver rx at the given egress up or down.
+// Transitions are idempotent; upCount tracks the live total the
+// scheduler sees on its next Tick.
+func (s *Switch) SetReceiver(egress, rx int, up bool) error {
+	if egress < 0 || egress >= s.cfg.N || rx < 0 || rx >= s.cfg.Receivers {
+		return fmt.Errorf("crossbar: receiver (%d,%d) out of range %dx%d", egress, rx, s.cfg.N, s.cfg.Receivers)
+	}
+	idx := egress*s.cfg.Receivers + rx
+	if s.rxUp[idx] == up {
+		return nil
+	}
+	s.rxUp[idx] = up
+	if up {
+		s.upCount[egress]++
+	} else {
+		s.upCount[egress]--
+	}
+	return nil
+}
+
+// ReceiversUp reports the live receiver count at one egress.
+func (s *Switch) ReceiversUp(egress int) int { return s.upCount[egress] }
+
+// ReceiversDown reports the total failed receivers across the switch.
+func (s *Switch) ReceiversDown() int {
+	down := 0
+	for _, up := range s.rxUp {
+		if !up {
+			down++
+		}
+	}
+	return down
+}
+
+// ReceiverLoad reports how many cells receiver rx at the given egress
+// has taken since the switch was built (execution-time assignment, so
+// the dual-receiver tie-break is directly observable).
+func (s *Switch) ReceiverLoad(egress, rx int) uint64 {
+	return s.rxLoad[egress*s.cfg.Receivers+rx]
+}
+
+// Stall freezes the arbiter for n upcoming slots: no Tick runs, the
+// grant pipeline is fed empty matchings, and in-flight grants still
+// execute — a transient scheduler-pipeline outage.
+func (s *Switch) Stall(n uint64) { s.stall += n }
+
+// AttachFaults registers the switch's fault hooks (receiver loss,
+// scheduler stalls) on the injector and arranges for it to be ticked at
+// the top of every Step. Other hooks on the same injector (optics
+// gates, link BER, credits) are the other components' business.
+func (s *Switch) AttachFaults(inj *fault.Injector) {
+	s.faults = inj
+	inj.OnReceiver(func(egress, rx int, up bool) {
+		// Targets were validated at Compile time against these dims.
+		//lint:ignore errcheck validated at schedule compile time; see fault.Dims
+		_ = s.SetReceiver(egress, rx, up)
+	})
+	inj.OnStall(func(slots uint64) { s.Stall(slots) })
+}
+
+// CutEpoch closes the current degradation epoch at the present slot and
+// starts the next one: it reports the measurement counters accumulated
+// since the previous cut (or since measurement began) and resets the
+// epoch collectors. Global metrics are unaffected.
+func (s *Switch) CutEpoch() Epoch {
+	e := Epoch{
+		FromSlot:        s.epoch.from,
+		ToSlot:          s.slot,
+		Offered:         s.epoch.offered,
+		Delivered:       s.epoch.delivered,
+		Dropped:         s.epoch.dropped,
+		ReceiverRejects: s.epoch.rejects,
+		ReceiversDown:   s.ReceiversDown(),
+	}
+	if s.faults != nil {
+		e.ActiveFaults = s.faults.Active()
+	}
+	if e.Delivered > 0 {
+		cyc := float64(s.metrics.CycleTime)
+		e.MeanSlots = float64(s.epoch.lat.Mean()) / cyc
+		e.P99Slots = float64(s.epoch.lat.P99()) / cyc
+	}
+	s.epoch = epochState{from: s.slot}
+	return e
 }
 
 // N reports the port count.
@@ -296,11 +455,17 @@ func (s *Switch) now() units.Time {
 func (s *Switch) StartMeasurement(measureSlots uint64) {
 	s.measuring = true
 	s.metrics.MeasureSlots = measureSlots
+	s.epoch = epochState{from: s.slot}
 }
 
 // Step advances the switch by one packet cycle. arrivals[i], when
 // non-nil, is the cell arriving at input i this cycle.
 func (s *Switch) Step(arrivals []*packet.Cell) {
+	// 0. Fault transitions due this slot land before anything moves, so
+	// the arbiter and data path see a consistent component state.
+	if s.faults != nil {
+		s.faults.Tick(s.slot)
+	}
 	now := s.now()
 	// 1. Arrivals enter the VOQs (or the egress directly for ideal OQ).
 	for in, c := range arrivals {
@@ -310,6 +475,7 @@ func (s *Switch) Step(arrivals []*packet.Cell) {
 		c.Injected = now
 		if s.measuring {
 			s.metrics.Offered++
+			s.epoch.offered++
 		}
 		if s.cfg.IdealOQ {
 			s.receive(c, c.Dst)
@@ -319,7 +485,17 @@ func (s *Switch) Step(arrivals []*packet.Cell) {
 	}
 	// 2. Arbitrate and (after the control RTT) execute the matching.
 	if !s.cfg.IdealOQ {
-		m := s.cfg.Scheduler.Tick(s.slot, board{s})
+		var m sched.Matching
+		if s.stall > 0 {
+			// Scheduler-pipeline stall: the arbiter is frozen, but the
+			// grant pipeline keeps shifting so already-issued grants
+			// execute on time.
+			s.stall--
+			s.Stalls++
+			m = sched.NewMatching(s.cfg.N)
+		} else {
+			m = s.cfg.Scheduler.Tick(s.slot, board{s})
+		}
 		if len(s.grantDelay) > 0 || s.cfg.ControlRTTCycles > 0 {
 			// A delayed matching's cells must be reserved until it
 			// executes; pipelined schedulers reserve their own edges.
@@ -337,8 +513,23 @@ func (s *Switch) Step(arrivals []*packet.Cell) {
 		if s.cfg.OnMatch != nil {
 			s.cfg.OnMatch(s.slot, m)
 		}
+		for i := range s.rxUsed {
+			s.rxUsed[i] = 0
+		}
 		for in, out := range m.Out {
 			if out < 0 {
+				continue
+			}
+			// Execution-time receiver capacity check: a fault can land
+			// between grant and execution (the control RTT), so a granted
+			// cell may find its egress short a receiver. Refused cells
+			// stay queued and re-arbitrate; they are delayed, never lost.
+			if s.rxUsed[out] >= s.upCount[out] {
+				board{s}.Uncommit(in, out)
+				if s.measuring {
+					s.metrics.ReceiverRejects++
+					s.epoch.rejects++
+				}
 				continue
 			}
 			c := s.voqs[in].pop(out)
@@ -346,6 +537,14 @@ func (s *Switch) Step(arrivals []*packet.Cell) {
 				// A matching edge found no cell (possible only with a
 				// mis-behaving scheduler); surface it loudly in tests.
 				continue
+			}
+			// Deterministic receiver assignment: inputs execute in index
+			// order and each cell takes the lowest-index healthy receiver
+			// not yet used this slot — the engine-level tie-break.
+			rx := s.pickReceiver(out, s.rxUsed[out])
+			s.rxUsed[out]++
+			if rx >= 0 {
+				s.rxLoad[out*s.cfg.Receivers+rx]++
 			}
 			if s.measuring {
 				wait := float64(now-c.Injected)/float64(s.metrics.CycleTime) + 1
@@ -367,6 +566,8 @@ func (s *Switch) Step(arrivals []*packet.Cell) {
 		if s.measuring {
 			s.metrics.Delivered++
 			s.metrics.Latency.Add(c.Delivered - c.Created)
+			s.epoch.delivered++
+			s.epoch.lat.Add(c.Delivered - c.Created)
 			if c.Class == packet.Control {
 				s.metrics.ControlLatency.Add(c.Delivered - c.Created)
 			}
@@ -386,12 +587,31 @@ func (s *Switch) Step(arrivals []*packet.Cell) {
 	s.slot++
 }
 
+// pickReceiver returns the index of the (used+1)-th healthy receiver at
+// an egress, or -1 when none remains — the deterministic lowest-index-
+// first assignment the dual-receiver tie-break tests pin down.
+func (s *Switch) pickReceiver(out, used int) int {
+	base := out * s.cfg.Receivers
+	skip := used
+	for r := 0; r < s.cfg.Receivers; r++ {
+		if !s.rxUp[base+r] {
+			continue
+		}
+		if skip == 0 {
+			return r
+		}
+		skip--
+	}
+	return -1
+}
+
 // receive delivers a cell across the crossbar into an egress queue.
 func (s *Switch) receive(c *packet.Cell, out int) {
 	e := s.egress[out]
 	if e.capacity > 0 && e.q.len() >= e.capacity {
 		if s.measuring {
 			s.metrics.Dropped++
+			s.epoch.dropped++
 		}
 		return
 	}
@@ -426,14 +646,33 @@ type RunResult struct {
 // plus measure slots and returns the metrics. The allocator stamps
 // Created at the arrival slot.
 func (s *Switch) Run(gens []traffic.Generator, warmup, measure uint64) (*Metrics, error) {
+	m, _, err := s.RunEpochs(gens, warmup, measure, nil)
+	return m, err
+}
+
+// RunEpochs is Run with degradation segmentation: the measurement
+// window is additionally cut at each slot in cuts (ascending, each in
+// (warmup, warmup+measure)), and the trailing segment is closed when
+// the run ends — so a campaign with K in-window fault transitions
+// yields K+1 epochs. Cuts outside the window are ignored; traffic and
+// metrics are byte-identical to Run with the same inputs.
+func (s *Switch) RunEpochs(gens []traffic.Generator, warmup, measure uint64, cuts []uint64) (*Metrics, []Epoch, error) {
 	if len(gens) != s.cfg.N {
-		return nil, fmt.Errorf("crossbar: %d generators for %d ports", len(gens), s.cfg.N)
+		return nil, nil, fmt.Errorf("crossbar: %d generators for %d ports", len(gens), s.cfg.N)
 	}
 	arrivals := make([]*packet.Cell, s.cfg.N)
 	total := warmup + measure
+	var epochs []Epoch
+	ci := 0
 	for t := uint64(0); t < total; t++ {
 		if t == warmup {
 			s.StartMeasurement(measure)
+		}
+		for ci < len(cuts) && cuts[ci] <= t {
+			if cuts[ci] == t && t > warmup && t < total {
+				epochs = append(epochs, s.CutEpoch())
+			}
+			ci++
 		}
 		now := s.now()
 		for i, g := range gens {
@@ -448,7 +687,10 @@ func (s *Switch) Run(gens []traffic.Generator, warmup, measure uint64) (*Metrics
 		}
 		s.Step(arrivals)
 	}
-	return &s.metrics, nil
+	if measure > 0 {
+		epochs = append(epochs, s.CutEpoch())
+	}
+	return &s.metrics, epochs, nil
 }
 
 // runPoint builds one fresh switch plus generators and runs a single

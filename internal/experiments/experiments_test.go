@@ -64,7 +64,7 @@ func TestRegistry(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	for _, want := range []string{"table1", "fig1", "fig2", "fig4", "fig6", "fig7", "fig10", "stages", "power", "scaling", "snf", "guard", "fec", "bvn"} {
+	for _, want := range []string{"table1", "fig1", "fig2", "fig4", "fig6", "fig7", "fig10", "stages", "power", "scaling", "snf", "guard", "fec", "bvn", "faults"} {
 		if !seen[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -108,7 +108,7 @@ func TestSimulationExperimentsReproduceQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiments are slow")
 	}
-	for _, id := range []string{"fig2", "fig4", "fig6", "fig7", "bvn", "stages-sim", "container", "deflect", "control-rtt"} {
+	for _, id := range []string{"fig2", "fig4", "fig6", "fig7", "bvn", "stages-sim", "container", "deflect", "control-rtt", "faults"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)

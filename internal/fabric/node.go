@@ -84,8 +84,9 @@ func newNode(id NodeID, net Net, mk func() sched.Scheduler, receivers, inputCapa
 // flow-control credit — the §IV.B "scheduler as FC manager" role.
 type nodeBoard struct{ n *node }
 
-func (b nodeBoard) N() int         { return b.n.radix }
-func (b nodeBoard) Receivers() int { return b.n.receivers }
+func (b nodeBoard) N() int              { return b.n.radix }
+func (b nodeBoard) Receivers() int      { return b.n.receivers }
+func (b nodeBoard) ReceiversAt(int) int { return b.n.receivers }
 
 func (b nodeBoard) Demand(in, out int) int {
 	n := b.n

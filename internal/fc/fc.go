@@ -25,16 +25,22 @@ type Credits struct {
 	pos       int
 	// Shortfalls counts cycles in which a send was refused.
 	Shortfalls uint64
+	// Lost counts credits destroyed by Drop (fault injection); until a
+	// resync they permanently shrink the loop's sustainable window.
+	Lost uint64
 }
 
 // NewCredits builds a counter with initial credits and a return delay
-// of rttSlots cycles (the remote FC loop RTT).
+// of rttSlots cycles (the remote FC loop RTT). rttSlots must be
+// positive: a non-positive RTT means the caller mis-sized the loop
+// (LoopRTT never yields less than 1), and silently clamping it would
+// hide the sizing bug.
 func NewCredits(initial, rttSlots int) (*Credits, error) {
 	if initial < 0 {
 		return nil, fmt.Errorf("fc: negative initial credits %d", initial)
 	}
 	if rttSlots < 1 {
-		rttSlots = 1
+		return nil, fmt.Errorf("fc: non-positive credit-return RTT %d slots; size the loop with LoopRTT", rttSlots)
 	}
 	return &Credits{avail: initial, returning: make([]int, rttSlots)}, nil
 }
@@ -77,6 +83,30 @@ func (c *Credits) InFlight() int {
 		total += v
 	}
 	return total
+}
+
+// Drop destroys up to n credits — in-flight returns first (earliest
+// landing first, the ones a corrupted FC message would have carried),
+// then available credits — and reports how many were actually
+// destroyed. Lost credits shrink the loop's window until an external
+// resync; the counter makes the damage auditable.
+func (c *Credits) Drop(n int) int {
+	dropped := 0
+	for i := 0; i < len(c.returning) && dropped < n; i++ {
+		slot := (c.pos + i) % len(c.returning)
+		take := c.returning[slot]
+		if take > n-dropped {
+			take = n - dropped
+		}
+		c.returning[slot] -= take
+		dropped += take
+	}
+	for c.avail > 0 && dropped < n {
+		c.avail--
+		dropped++
+	}
+	c.Lost += uint64(dropped)
+	return dropped
 }
 
 // BufferFor reports the ingress-buffer capacity (in cells) needed to

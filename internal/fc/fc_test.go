@@ -136,9 +136,62 @@ func TestNewCreditsValidation(t *testing.T) {
 	if _, err := NewCredits(-1, 1); err == nil {
 		t.Error("negative credits accepted")
 	}
-	c, err := NewCredits(0, 0) // rtt clamped to 1
-	if err != nil || c == nil {
-		t.Errorf("rtt 0 should clamp, got %v", err)
+	// A non-positive RTT means the caller mis-sized the loop; it must be
+	// rejected like a negative credit count, not silently clamped.
+	if _, err := NewCredits(0, 0); err == nil {
+		t.Error("zero RTT accepted; mis-sized loop should error")
+	}
+	if _, err := NewCredits(0, -3); err == nil {
+		t.Error("negative RTT accepted")
+	}
+	if c, err := NewCredits(0, 1); err != nil || c == nil {
+		t.Errorf("minimal valid loop rejected: %v", err)
+	}
+}
+
+func TestCreditsDrop(t *testing.T) {
+	c, err := NewCredits(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Put two credits in flight at different landing times.
+	c.Consume()
+	c.Consume()
+	c.Release()
+	c.Tick()
+	c.Release()
+	if c.InFlight() != 2 {
+		t.Fatalf("in flight %d, want 2", c.InFlight())
+	}
+	// Drop one: the earliest-landing return dies first.
+	if got := c.Drop(1); got != 1 {
+		t.Fatalf("Drop(1) destroyed %d", got)
+	}
+	if c.InFlight() != 1 || c.Lost != 1 {
+		t.Errorf("after drop: inflight=%d lost=%d", c.InFlight(), c.Lost)
+	}
+	// Drain the remaining return and verify the window shrank: started
+	// with 4 total, both consumed cells released, 1 credit dropped ->
+	// only 3 of the original 4 remain reachable.
+	for i := 0; i < 4; i++ {
+		c.Tick()
+	}
+	if c.Available()+c.InFlight() != 3 {
+		t.Errorf("window after drop: avail=%d inflight=%d, want 3 total", c.Available(), c.InFlight())
+	}
+	// Dropping more than exists destroys in-flight then available, and
+	// reports the true count.
+	c2, err := NewCredits(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Consume()
+	c2.Release()
+	if got := c2.Drop(10); got != 2 {
+		t.Errorf("Drop(10) destroyed %d, want 2 (1 in flight + 1 available)", got)
+	}
+	if c2.Available() != 0 || c2.InFlight() != 0 || c2.Lost != 2 {
+		t.Errorf("after over-drop: avail=%d inflight=%d lost=%d", c2.Available(), c2.InFlight(), c2.Lost)
 	}
 }
 

@@ -1,0 +1,99 @@
+package link
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fec"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestChannelBurstBER(t *testing.T) {
+	c := NewChannel(units.Nanosecond, units.OSMOSISPortRate, 1e-12, 7)
+	if c.ActiveBER() != 1e-12 {
+		t.Fatalf("healthy ActiveBER %g", c.ActiveBER())
+	}
+	c.SetBurst(1e-3)
+	if c.ActiveBER() != 1e-3 {
+		t.Errorf("burst ActiveBER %g, want 1e-3", c.ActiveBER())
+	}
+	// During the burst the realized error rate tracks the burst BER, not
+	// the raw one.
+	data := make([]byte, 1<<16)
+	c.Corrupt(data)
+	if c.Flips() < 100 {
+		t.Errorf("burst over %d bits injected only %d flips", c.BitsSent(), c.Flips())
+	}
+	c.ClearBurst()
+	if c.ActiveBER() != 1e-12 {
+		t.Errorf("cleared ActiveBER %g, want raw 1e-12", c.ActiveBER())
+	}
+	flips := c.Flips()
+	c.Corrupt(data)
+	if c.Flips() != flips {
+		t.Errorf("healthy channel at 1e-12 flipped %d bits in 64 KiB", c.Flips()-flips)
+	}
+}
+
+// TestReliableLinkSurvivesBERBurst: an error burst on an otherwise
+// clean span drives FEC uncorrectables into the go-back-N layer, which
+// absorbs them — delivery stays lossless and in order, paid for in
+// retransmissions. This is the link-level half of the graceful
+// degradation story.
+func TestReliableLinkSurvivesBERBurst(t *testing.T) {
+	k := sim.New()
+	fwd := NewChannel(50*units.Nanosecond, units.OSMOSISPortRate, 0, 11)
+	rev := NewChannel(50*units.Nanosecond, units.OSMOSISPortRate, 0, 12)
+	l := NewReliableLink(k, fwd, rev, Codec{}, 8, 2*units.Microsecond)
+	var got [][]byte
+	l.Deliver = func(f Frame) {
+		got = append(got, append([]byte(nil), f.Payload...))
+	}
+	rng := sim.NewRNG(sim.DeriveSeed(99, 1))
+	var want [][]byte
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			p := make([]byte, 2*fec.DataSymbols)
+			for j := range p {
+				p[j] = byte(rng.Uint64())
+			}
+			want = append(want, p)
+			if err := l.Send(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Run(units.Second)
+		if !l.Done() {
+			t.Fatalf("link not drained: in flight %d, err %v", l.InFlight(), l.Err())
+		}
+	}
+
+	send(50) // clean warmup
+	if l.Retransmitted != 0 {
+		t.Fatalf("clean span retransmitted %d frames", l.Retransmitted)
+	}
+
+	fwd.SetBurst(5e-4) // burst: heavy enough to defeat the FEC regularly
+	send(200)
+	burstRetx := l.Retransmitted
+	if burstRetx == 0 {
+		t.Error("burst BER never forced a retransmission; fault not exercised")
+	}
+
+	fwd.ClearBurst() // recovery
+	send(50)
+	if l.Retransmitted != burstRetx {
+		t.Errorf("retransmissions continued after burst cleared: %d -> %d", burstRetx, l.Retransmitted)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("frame %d corrupted or out of order", i)
+		}
+	}
+	t.Logf("burst retx=%d corruptDropped=%d", burstRetx, l.CorruptDropped)
+}

@@ -23,8 +23,13 @@ type Channel struct {
 	Delay units.Time
 	// Rate is the serial line rate.
 	Rate units.Bandwidth
-	// RawBER is the per-bit corruption probability.
+	// RawBER is the per-bit corruption probability in the healthy state.
 	RawBER float64
+
+	// burstBER, when burst is set, replaces RawBER — an injected error
+	// burst (fault campaign) or a degraded span.
+	burstBER float64
+	burst    bool
 
 	rng      *sim.RNG
 	bitsSent uint64
@@ -41,6 +46,29 @@ func (c *Channel) Transit(t units.Time, nBytes int) units.Time {
 	return t + c.Delay + units.TransmissionTime(nBytes, c.Rate)
 }
 
+// SetBurst raises the channel's error rate to ber until ClearBurst —
+// the BER-burst fault that drives FEC uncorrectables into the
+// retransmission layer. The error process keeps consuming the same RNG
+// stream, so a burst changes the statistics, not the stream identity.
+func (c *Channel) SetBurst(ber float64) {
+	c.burstBER = ber
+	c.burst = true
+}
+
+// ClearBurst restores the healthy RawBER.
+func (c *Channel) ClearBurst() {
+	c.burst = false
+	c.burstBER = 0
+}
+
+// ActiveBER reports the error rate currently applied to traffic.
+func (c *Channel) ActiveBER() float64 {
+	if c.burst {
+		return c.burstBER
+	}
+	return c.RawBER
+}
+
 // Corrupt applies the channel's error process to a copy of data.
 //
 // For the tiny BERs of real optics, per-bit sampling would almost never
@@ -52,7 +80,7 @@ func (c *Channel) Corrupt(data []byte) []byte {
 	copy(out, data)
 	nbits := uint64(len(data)) * 8
 	c.bitsSent += nbits
-	if c.RawBER <= 0 || nbits == 0 {
+	if c.ActiveBER() <= 0 || nbits == 0 {
 		return out
 	}
 	// Sample the position of each error as a geometric gap.
@@ -76,8 +104,8 @@ func (c *Channel) geometricGap() uint64 {
 	for u == 0 {
 		u = c.rng.Float64()
 	}
-	// Inverse-CDF of the geometric distribution with parameter RawBER.
-	g := int64(logFloat(u) / log1mFloat(c.RawBER))
+	// Inverse-CDF of the geometric distribution with the active BER.
+	g := int64(logFloat(u) / log1mFloat(c.ActiveBER()))
 	if g < 0 {
 		return 0
 	}

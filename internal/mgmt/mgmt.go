@@ -55,10 +55,16 @@ type Inventory struct {
 // Manager supervises one OSMOSIS system.
 type Manager struct {
 	sys *core.System
+	sw  *crossbar.Switch
 }
 
 // New wraps a built system.
 func New(sys *core.System) *Manager { return &Manager{sys: sys} }
+
+// AttachSwitch points the self-tests at a live switch instance so the
+// BIST can observe runtime damage (failed receivers) that a freshly
+// built switch would not show. Pass nil to detach.
+func (m *Manager) AttachSwitch(sw *crossbar.Switch) { m.sw = sw }
 
 // Inventory reports the managed configuration.
 func (m *Manager) Inventory() Inventory {
@@ -96,9 +102,15 @@ func (m *Manager) SelfTest(seed uint64) []Check {
 	worst, err := m.sys.Crossbar.VerifyAllPaths()
 	add("optical-power-budget", err, fmt.Sprintf("worst margin %.2f dB", float64(worst)))
 
-	// 2. Gate selectivity walk: sample modules across the fabric and
-	// verify each selects exactly the commanded input.
-	add("soa-gate-selectivity", m.gateWalk(seed), "sampled modules select commanded inputs")
+	// 2. Gate selectivity walk: every module commanded across every
+	// broadcast fiber; the observed path must match the command and a
+	// fully dark module must not leak.
+	add("soa-gate-selectivity", m.gateWalk(seed), "all modules select exactly the commanded inputs")
+
+	// 2b. Receiver health on the attached live switch, when present.
+	if m.sw != nil {
+		add("receiver-health", m.receiverCheck(), "all egress receivers in service")
+	}
 
 	// 3. Arbiter sanity: random demand, matching validity, conservation.
 	add("arbiter-sanity", m.arbiterTest(seed), "matchings valid over random demand")
@@ -121,23 +133,50 @@ func AllOK(checks []Check) bool {
 	return true
 }
 
-// gateWalk configures a sample of switching modules across all inputs
-// and checks the selected path.
+// gateWalk is the §VI.A BIST loop over the switching modules: every
+// module is commanded across every broadcast fiber (color sampled per
+// trial) and the effective optical path is compared with the command.
+// A stuck-off gate shows as a dark commanded path; a stuck-on gate
+// shows as a leak once the module is commanded dark. Exhaustive over
+// modules and fibers, so any single wedged fiber gate is caught.
 func (m *Manager) gateWalk(seed uint64) error {
 	rng := sim.NewRNG(seed)
 	cfg := m.sys.Config()
 	xb := m.sys.Crossbar
-	for trial := 0; trial < 64; trial++ {
-		mod := rng.Intn(xb.Modules())
-		in := rng.Intn(cfg.Ports)
-		if _, err := xb.Configure(mod, in); err != nil {
-			return fmt.Errorf("module %d: %w", mod, err)
-		}
-		if got := xb.SelectedInput(mod); got != in {
-			return fmt.Errorf("module %d selected input %d, commanded %d", mod, got, in)
+	colors := cfg.Optics.Colors
+	for mod := 0; mod < xb.Modules(); mod++ {
+		for f := 0; f < cfg.Optics.Fibers(); f++ {
+			in := f*colors + rng.Intn(colors)
+			if _, err := xb.Configure(mod, in); err != nil {
+				return fmt.Errorf("module %d: %w", mod, err)
+			}
+			if got := xb.EffectiveInput(mod); got != in {
+				if got < 0 {
+					return fmt.Errorf("module %d commanded input %d but the path is dark (stuck-off gate)", mod, in)
+				}
+				return fmt.Errorf("module %d passes input %d, commanded %d", mod, got, in)
+			}
 		}
 		if _, err := xb.Configure(mod, -1); err != nil {
 			return err
+		}
+		if xb.ModuleLeaks(mod) {
+			return fmt.Errorf("module %d leaks light with all gates commanded off (stuck-on gate)", mod)
+		}
+	}
+	return nil
+}
+
+// receiverCheck verifies the attached switch still has its full
+// receiver complement at every egress.
+func (m *Manager) receiverCheck() error {
+	cfg := m.sys.Config()
+	if down := m.sw.ReceiversDown(); down > 0 {
+		for e := 0; e < cfg.Ports; e++ {
+			if up := m.sw.ReceiversUp(e); up < cfg.Receivers {
+				return fmt.Errorf("%d of %d receivers out of service (first degraded egress %d: %d/%d up)",
+					down, cfg.Ports*cfg.Receivers, e, up, cfg.Receivers)
+			}
 		}
 	}
 	return nil
@@ -251,8 +290,9 @@ func (b *testBoard) take(in, out int) {
 	}
 }
 
-func (b *testBoard) N() int         { return b.n }
-func (b *testBoard) Receivers() int { return b.r }
+func (b *testBoard) N() int              { return b.n }
+func (b *testBoard) Receivers() int      { return b.r }
+func (b *testBoard) ReceiversAt(int) int { return b.r }
 
 func (b *testBoard) Demand(in, out int) int {
 	d := b.demand[in][out] - b.committed[in][out]

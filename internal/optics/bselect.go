@@ -180,8 +180,80 @@ func (xb *Crossbar) Configure(m, in int) (units.Time, error) {
 	return guard, nil
 }
 
-// SelectedInput reports which ingress port module m passes, -1 if dark.
+// SelectedInput reports which ingress port module m is commanded to
+// pass, -1 if dark. A gate fault can make the optical reality differ —
+// see EffectiveInput.
 func (xb *Crossbar) SelectedInput(m int) int { return xb.modules[m].input }
+
+// SetGateFault wedges fiber-select gate g of module m in the given
+// mode (Healthy clears it). Stuck gates ignore reconfiguration until
+// cleared; the commanded pattern is preserved throughout.
+func (xb *Crossbar) SetGateFault(m, gate int, mode StuckMode) error {
+	if m < 0 || m >= len(xb.modules) {
+		return fmt.Errorf("optics: module %d out of range [0,%d)", m, len(xb.modules))
+	}
+	fg := xb.modules[m].fiberGate
+	if gate < 0 || gate >= len(fg) {
+		return fmt.Errorf("optics: fiber gate %d out of range [0,%d)", gate, len(fg))
+	}
+	fg[gate].ForceStuck(mode)
+	return nil
+}
+
+// EffectiveInput reports the ingress port whose light actually reaches
+// module m's output: the commanded input if its fiber and color gates
+// both pass, -1 when the selected path is dark (e.g. a stuck-off gate
+// severed it). This is what a BIST power monitor at the module output
+// observes, versus SelectedInput which is what the control plane
+// commanded — the §VI.A self-test compares the two.
+func (xb *Crossbar) EffectiveInput(m int) int {
+	mod := &xb.modules[m]
+	if mod.input < 0 {
+		return -1
+	}
+	fiber, color := xb.P.PortAddress(mod.input)
+	if !mod.fiberGate[fiber].Passing() || !mod.colorGate[color].Passing() {
+		return -1
+	}
+	return mod.input
+}
+
+// ModuleLeaks reports whether any gate of module m passes light it was
+// not commanded to pass — the selectivity loss a stuck-on gate causes,
+// observable as anomalous crosstalk at the module output.
+func (xb *Crossbar) ModuleLeaks(m int) bool {
+	mod := &xb.modules[m]
+	for i := range mod.fiberGate {
+		if mod.fiberGate[i].Passing() && !mod.fiberGate[i].On() {
+			return true
+		}
+	}
+	for i := range mod.colorGate {
+		if mod.colorGate[i].Passing() && !mod.colorGate[i].On() {
+			return true
+		}
+	}
+	return false
+}
+
+// GateFaults reports the number of wedged gates across the fabric.
+func (xb *Crossbar) GateFaults() int {
+	n := 0
+	for m := range xb.modules {
+		mod := &xb.modules[m]
+		for i := range mod.fiberGate {
+			if mod.fiberGate[i].Stuck() != Healthy {
+				n++
+			}
+		}
+		for i := range mod.colorGate {
+			if mod.colorGate[i].Stuck() != Healthy {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // SwitchEvents reports the cumulative SOA reconfiguration count.
 func (xb *Crossbar) SwitchEvents() uint64 { return xb.switchEvents }

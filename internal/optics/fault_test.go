@@ -1,0 +1,134 @@
+package optics
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestSOAStuckModes(t *testing.T) {
+	s := DefaultSOA()
+	if s.Stuck() != Healthy || s.Passing() {
+		t.Fatal("fresh gate should be healthy and dark")
+	}
+	// Stuck-off: commanded on, no light, no guard time (nothing moves).
+	s.ForceStuck(StuckOff)
+	if g := s.Set(true); g != 0 {
+		t.Errorf("stuck-off gate charged %v guard time", g)
+	}
+	if !s.On() || s.Passing() {
+		t.Errorf("stuck-off: commanded=%v passing=%v, want true/false", s.On(), s.Passing())
+	}
+	// Clearing the fault restores the last commanded state.
+	s.ForceStuck(Healthy)
+	if !s.Passing() {
+		t.Error("cleared gate should pass: commanded state was on")
+	}
+	// Stuck-on: commanded off, still passing.
+	s.ForceStuck(StuckOn)
+	s.Set(false)
+	if s.On() || !s.Passing() {
+		t.Errorf("stuck-on: commanded=%v passing=%v, want false/true", s.On(), s.Passing())
+	}
+	// Through follows the optical (passing) state, not the commanded one.
+	if out := s.Through(0); out != units.DBm(0).Add(s.Gain) {
+		t.Errorf("stuck-on gate should amplify: %v", out)
+	}
+	if StuckOff.String() != "stuck-off" || StuckOn.String() != "stuck-on" || Healthy.String() != "healthy" {
+		t.Error("StuckMode names wrong")
+	}
+}
+
+// TestCrossbarGateFaultVisibility: a stuck-off fiber gate makes the
+// commanded path dark (EffectiveInput -1), and a stuck-on gate leaks —
+// exactly the signals the mgmt BIST compares.
+func TestCrossbarGateFaultVisibility(t *testing.T) {
+	xb, err := NewCrossbar(DemonstratorParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m, in = 5, 42 // port 42: fiber 5, color 2
+	fiber, _ := xb.P.PortAddress(in)
+	if _, err := xb.Configure(m, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := xb.EffectiveInput(m); got != in {
+		t.Fatalf("healthy module passes %d, want %d", got, in)
+	}
+
+	// Stuck-off on the selected fiber gate: path severed.
+	if err := xb.SetGateFault(m, fiber, StuckOff); err != nil {
+		t.Fatal(err)
+	}
+	if got := xb.EffectiveInput(m); got != -1 {
+		t.Errorf("stuck-off gate: effective input %d, want dark (-1)", got)
+	}
+	if xb.SelectedInput(m) != in {
+		t.Error("commanded input should be unchanged by the fault")
+	}
+	if xb.GateFaults() != 1 {
+		t.Errorf("gate faults %d, want 1", xb.GateFaults())
+	}
+	// Clear: path restored.
+	if err := xb.SetGateFault(m, fiber, Healthy); err != nil {
+		t.Fatal(err)
+	}
+	if got := xb.EffectiveInput(m); got != in {
+		t.Errorf("cleared fault: effective input %d, want %d", got, in)
+	}
+
+	// Stuck-on on a *different* fiber gate: selectivity lost, module
+	// leaks, but the selected path still passes.
+	other := (fiber + 1) % xb.P.Fibers()
+	if err := xb.SetGateFault(m, other, StuckOn); err != nil {
+		t.Fatal(err)
+	}
+	if got := xb.EffectiveInput(m); got != in {
+		t.Errorf("stuck-on elsewhere: effective input %d, want %d", got, in)
+	}
+	if !xb.ModuleLeaks(m) {
+		t.Error("stuck-on gate should make the module leak")
+	}
+	if err := xb.SetGateFault(m, other, Healthy); err != nil {
+		t.Fatal(err)
+	}
+	if xb.ModuleLeaks(m) || xb.GateFaults() != 0 {
+		t.Error("cleared module still leaks or counts faults")
+	}
+
+	// Out-of-range targets are rejected.
+	if err := xb.SetGateFault(-1, 0, StuckOff); err == nil {
+		t.Error("negative module accepted")
+	}
+	if err := xb.SetGateFault(m, xb.P.Fibers(), StuckOff); err == nil {
+		t.Error("out-of-range gate accepted")
+	}
+}
+
+// TestStuckGateFollowsLaterCommands: reconfiguring a module with a
+// wedged gate keeps the commanded pattern current, so clearing the
+// fault needs no re-sync.
+func TestStuckGateFollowsLaterCommands(t *testing.T) {
+	xb, err := NewCrossbar(DemonstratorParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 0
+	if err := xb.SetGateFault(m, 0, StuckOff); err != nil {
+		t.Fatal(err)
+	}
+	// Command input on fiber 0 (dark due to the fault), then on fiber 1
+	// (healthy gates, passes).
+	if _, err := xb.Configure(m, 3); err != nil { // fiber 0, color 3
+		t.Fatal(err)
+	}
+	if xb.EffectiveInput(m) != -1 {
+		t.Error("faulted fiber path should be dark")
+	}
+	if _, err := xb.Configure(m, 11); err != nil { // fiber 1, color 3
+		t.Fatal(err)
+	}
+	if got := xb.EffectiveInput(m); got != 11 {
+		t.Errorf("healthy fiber path dark: effective %d, want 11", got)
+	}
+}

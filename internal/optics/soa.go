@@ -40,7 +40,35 @@ type SOA struct {
 	// SwitchEnergy is the electrical energy per state change (J).
 	SwitchEnergy float64
 
-	on bool
+	on    bool
+	stuck StuckMode
+}
+
+// StuckMode is the health state of a gate: a stuck gate ignores its
+// drive current, the fault class the §VI.A BIST loop must catch.
+type StuckMode int
+
+// Gate health states.
+const (
+	// Healthy gates follow their commanded state.
+	Healthy StuckMode = iota
+	// StuckOff gates stay dark regardless of drive — paths through them
+	// are severed.
+	StuckOff
+	// StuckOn gates stay transparent regardless of drive — the module
+	// loses selectivity and leaks a second input (crosstalk fault).
+	StuckOn
+)
+
+// String names the mode for reports.
+func (m StuckMode) String() string {
+	switch m {
+	case StuckOff:
+		return "stuck-off"
+	case StuckOn:
+		return "stuck-on"
+	}
+	return "healthy"
 }
 
 // DefaultSOA returns the gate parameters used across the demonstrator
@@ -57,24 +85,50 @@ func DefaultSOA() SOA {
 	}
 }
 
-// On reports the gate state.
+// On reports the commanded gate state (what the control plane asked
+// for; a stuck gate may not follow it — see Passing).
 func (s *SOA) On() bool { return s.on }
 
+// Passing reports whether light actually gets through: the commanded
+// state overridden by any stuck fault.
+func (s *SOA) Passing() bool {
+	switch s.stuck {
+	case StuckOff:
+		return false
+	case StuckOn:
+		return true
+	}
+	return s.on
+}
+
+// Stuck reports the gate's health state.
+func (s *SOA) Stuck() StuckMode { return s.stuck }
+
+// ForceStuck wedges the gate in the given mode (Healthy clears the
+// fault). The commanded state is preserved, so clearing a fault
+// restores the state the control plane last asked for.
+func (s *SOA) ForceStuck(m StuckMode) { s.stuck = m }
+
 // Set switches the gate, returning the guard time the data path must
-// blank if the state actually changed.
+// blank if the optical state actually changed. A stuck gate records the
+// commanded state but its optical output never transitions, so no guard
+// time is incurred.
 func (s *SOA) Set(on bool) units.Time {
 	if s.on == on {
 		return 0
 	}
 	s.on = on
+	if s.stuck != Healthy {
+		return 0
+	}
 	return s.GuardTime
 }
 
 // Through reports the output power for a given input power in the
-// current state: amplified when on, suppressed to the extinction floor
-// when off.
+// current state: amplified when passing, suppressed to the extinction
+// floor when dark.
 func (s *SOA) Through(in units.DBm) units.DBm {
-	if s.on {
+	if s.Passing() {
 		return in.Add(s.Gain)
 	}
 	return in.Add(s.Gain).Add(s.Extinction)

@@ -67,17 +67,18 @@ func (s *ISLIP) Tick(_ uint64, b Board) Matching {
 // caller passes 0 pointers for classic behaviour).
 func iterate(b Board, m *Matching, grantPtr, acceptPtr []int, iters int, demandUsed [][]int) int {
 	n := b.N()
-	r := b.Receivers()
 	outLoad := m.OutputLoad(n)
 	added := 0
 	for it := 0; it < iters; it++ {
 		// Grant phase: each output with spare receiver capacity grants
 		// up to its remaining capacity among requesting unmatched inputs,
-		// scanning round-robin from its pointer.
+		// scanning round-robin from its pointer. Capacity is the live
+		// per-output receiver count, so a fault-degraded egress grants
+		// like a narrower healthy one.
 		grants := make([][]int, n) // grants[in] = outputs granting to in
 		granted := false
 		for out := 0; out < n; out++ {
-			capacity := r - outLoad[out]
+			capacity := b.ReceiversAt(out) - outLoad[out]
 			if capacity <= 0 {
 				continue
 			}
@@ -117,7 +118,7 @@ func iterate(b Board, m *Matching, grantPtr, acceptPtr []int, iters int, demandU
 					best, bestDist = out, dist
 				}
 			}
-			if best < 0 || outLoad[best] >= r {
+			if best < 0 || outLoad[best] >= b.ReceiversAt(best) {
 				continue
 			}
 			m.Out[in] = best

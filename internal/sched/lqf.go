@@ -37,7 +37,6 @@ type lqfEdge struct {
 // Tick implements Scheduler.
 func (l *LQF) Tick(_ uint64, b Board) Matching {
 	n := b.N()
-	r := b.Receivers()
 	edges := make([]lqfEdge, 0, n*4)
 	for in := 0; in < n; in++ {
 		for out := 0; out < n; out++ {
@@ -59,7 +58,7 @@ func (l *LQF) Tick(_ uint64, b Board) Matching {
 	m := NewMatching(n)
 	outLoad := make([]int, n)
 	for _, e := range edges {
-		if m.Out[e.in] >= 0 || outLoad[e.out] >= r {
+		if m.Out[e.in] >= 0 || outLoad[e.out] >= b.ReceiversAt(e.out) {
 			continue
 		}
 		m.Out[e.in] = e.out

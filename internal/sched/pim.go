@@ -34,15 +34,14 @@ func (p *PIM) Reset() { p.rng = sim.NewRNG(p.seed) }
 // Tick implements Scheduler.
 func (p *PIM) Tick(_ uint64, b Board) Matching {
 	n := b.N()
-	r := b.Receivers()
 	m := NewMatching(n)
 	outLoad := make([]int, n)
 	for it := 0; it < p.iters; it++ {
-		// Grant: each output with capacity picks random requesters.
+		// Grant: each output with live capacity picks random requesters.
 		grants := make([][]int, n)
 		granted := false
 		for out := 0; out < n; out++ {
-			capacity := r - outLoad[out]
+			capacity := b.ReceiversAt(out) - outLoad[out]
 			if capacity <= 0 {
 				continue
 			}
@@ -73,7 +72,7 @@ func (p *PIM) Tick(_ uint64, b Board) Matching {
 			// Filter grants whose output filled up this iteration.
 			var avail []int
 			for _, out := range gs {
-				if outLoad[out] < r {
+				if outLoad[out] < b.ReceiversAt(out) {
 					avail = append(avail, out)
 				}
 			}

@@ -17,9 +17,15 @@ import "fmt"
 type Board interface {
 	// N reports the port count.
 	N() int
-	// Receivers reports how many cells one output can accept per cycle
-	// (1 = single receiver, 2 = the OSMOSIS dual-receiver option).
+	// Receivers reports how many cells one output can nominally accept
+	// per cycle (1 = single receiver, 2 = the OSMOSIS dual-receiver
+	// option).
 	Receivers() int
+	// ReceiversAt reports the capacity currently available at one
+	// output: Receivers() minus any receivers a fault has taken out of
+	// service. Schedulers must size per-output grants with this, so a
+	// degraded egress is arbitrated exactly like a narrower healthy one.
+	ReceiversAt(out int) int
 	// Demand reports the number of uncommitted queued cells at input in
 	// destined to output out.
 	Demand(in, out int) int

@@ -25,8 +25,9 @@ func newFakeBoard(n, r int) *fakeBoard {
 	return b
 }
 
-func (b *fakeBoard) N() int         { return b.n }
-func (b *fakeBoard) Receivers() int { return b.r }
+func (b *fakeBoard) N() int              { return b.n }
+func (b *fakeBoard) Receivers() int      { return b.r }
+func (b *fakeBoard) ReceiversAt(int) int { return b.r }
 
 func (b *fakeBoard) Demand(in, out int) int {
 	d := b.demand[in][out] - b.committed[in][out]

@@ -67,7 +67,11 @@ func (s *Series) Interp(x float64) float64 {
 	for i := 1; i < n; i++ {
 		if x <= s.Points[i].X {
 			a, b := s.Points[i-1], s.Points[i]
-			if b.X == a.X {
+			// sameX, not ==: knots differing only by floating-point
+			// noise collapse into one, matching YAt and Table.xValues.
+			// Interpolating across a noise-width gap would instead
+			// manufacture an invisible cliff segment.
+			if sameX(b.X, a.X) {
 				return b.Y
 			}
 			f := (x - a.X) / (b.X - a.X)

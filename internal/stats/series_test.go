@@ -25,6 +25,35 @@ func TestSeriesInterp(t *testing.T) {
 	}
 }
 
+// TestSeriesInterpNearDuplicateX: knots whose x values differ only by
+// floating-point noise must act as one knot, the way YAt and
+// Table.xValues already collapse them. The old exact == test only
+// caught bit-identical duplicates, so a noise-width pair became a
+// private cliff segment and queries landing inside it interpolated
+// partway up the cliff.
+func TestSeriesInterpNearDuplicateX(t *testing.T) {
+	const eps = 2e-12 // well inside xTol, far above ulp(0.3)
+	s := &Series{}
+	s.Add(0, 0)
+	s.Add(0.3, 10)
+	s.Add(0.3+eps, 1000) // same knot as 0.3 up to float noise
+	s.Add(1, 1000)
+	// A query strictly inside the noise gap snaps to the collapsed
+	// knot; the old code returned the ~halfway value ~505.
+	if got := s.Interp(0.3 + eps/2); got != 1000 {
+		t.Errorf("interp inside noise-width knot = %v, want 1000", got)
+	}
+	// Exactly duplicated x keeps its documented collapse too.
+	d := &Series{}
+	d.Add(0, 0)
+	d.Add(0.5, 1)
+	d.Add(0.5, 2)
+	d.Add(1, 3)
+	if got := d.Interp(0.5); got != 1 && got != 2 {
+		t.Errorf("interp at duplicate knot = %v, want a knot value", got)
+	}
+}
+
 func TestSeriesXWhereY(t *testing.T) {
 	s := &Series{}
 	s.Add(0, 0)

@@ -51,15 +51,19 @@ func (r *Running) Mean() float64 {
 	return r.mean
 }
 
-// Variance reports the unbiased sample variance.
+// Variance reports the unbiased sample variance, or NaN with fewer
+// than two observations: one sample carries no spread information, and
+// the 0 this used to return made StdErr/CI95 claim perfect precision
+// for n=1 — exactly when the estimate is least trustworthy.
 func (r *Running) Variance() float64 {
 	if r.n < 2 {
-		return 0
+		return math.NaN()
 	}
 	return r.m2 / float64(r.n-1)
 }
 
-// StdDev reports the sample standard deviation.
+// StdDev reports the sample standard deviation, or NaN with fewer than
+// two observations (see Variance).
 func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
 
 // Min reports the smallest observation, or NaN with no observations.
@@ -78,15 +82,17 @@ func (r *Running) Max() float64 {
 	return r.max
 }
 
-// StdErr reports the standard error of the mean.
+// StdErr reports the standard error of the mean, or NaN with fewer
+// than two observations (see Variance).
 func (r *Running) StdErr() float64 {
-	if r.n == 0 {
+	if r.n < 2 {
 		return math.NaN()
 	}
 	return r.StdDev() / math.Sqrt(float64(r.n))
 }
 
-// CI95 reports a normal-approximation 95% confidence half-width.
+// CI95 reports a normal-approximation 95% confidence half-width, or
+// NaN with fewer than two observations (see Variance).
 func (r *Running) CI95() float64 { return 1.96 * r.StdErr() }
 
 // Merge folds other into r (parallel-batch combination).
@@ -142,7 +148,8 @@ func (s *LatencySample) Mean() units.Time {
 	return units.Time(math.Round(s.run.Mean()))
 }
 
-// StdDev reports the latency standard deviation in picoseconds.
+// StdDev reports the latency standard deviation in picoseconds, or
+// NaN with fewer than two samples.
 func (s *LatencySample) StdDev() float64 { return s.run.StdDev() }
 
 // Quantile reports the q-th (0..1) sample quantile with linear

@@ -32,6 +32,49 @@ func TestRunningBasics(t *testing.T) {
 	}
 }
 
+// TestRunningSmallN: below two observations the spread statistics are
+// undefined and must report NaN — the old 0 return made StdErr/CI95
+// read as "perfectly precise" exactly when nothing is known yet.
+func TestRunningSmallN(t *testing.T) {
+	var r Running
+	for _, n := range []int{0, 1} {
+		for i := 0; i < n; i++ {
+			r.Add(3)
+		}
+		for name, f := range map[string]func() float64{
+			"Variance": r.Variance, "StdDev": r.StdDev,
+			"StdErr": r.StdErr, "CI95": r.CI95,
+		} {
+			if got := f(); !math.IsNaN(got) {
+				t.Errorf("n=%d: %s = %v, want NaN", n, name, got)
+			}
+		}
+		r.Reset()
+	}
+	// The location statistics are well defined from the first sample.
+	r.Add(3)
+	if r.Mean() != 3 || r.Min() != 3 || r.Max() != 3 {
+		t.Errorf("n=1 mean/min/max = %v/%v/%v, want 3/3/3", r.Mean(), r.Min(), r.Max())
+	}
+	// And everything snaps to finite values at the second sample.
+	r.Add(5)
+	if got := r.Variance(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("n=2 variance = %v, want 2", got)
+	}
+	if got := r.StdErr(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("n=2 stderr = %v, want 1", got)
+	}
+	if got := r.CI95(); math.Abs(got-1.96) > 1e-12 {
+		t.Errorf("n=2 CI95 = %v, want 1.96", got)
+	}
+	// A single-sample latency collector reports NaN spread, not 0.
+	var s LatencySample
+	s.Add(7)
+	if !math.IsNaN(s.StdDev()) {
+		t.Errorf("1-sample LatencySample.StdDev = %v, want NaN", s.StdDev())
+	}
+}
+
 func TestRunningMatchesDirectProperty(t *testing.T) {
 	f := func(raw []uint16) bool {
 		if len(raw) < 2 {
@@ -77,6 +120,11 @@ func TestRunningMergeProperty(t *testing.T) {
 		}
 		if whole.N() == 0 {
 			return true
+		}
+		if whole.N() < 2 {
+			// Variance is NaN on both sides below two observations.
+			return math.Abs(whole.Mean()-left.Mean()) < 1e-6 &&
+				math.IsNaN(left.Variance())
 		}
 		return math.Abs(whole.Mean()-left.Mean()) < 1e-6 &&
 			math.Abs(whole.Variance()-left.Variance()) < 1e-4

@@ -115,7 +115,7 @@ func (a *Aligner) ArrivalTime(i int, t units.Time) units.Time {
 	ad := a.Adapters[i]
 	prop := units.FiberDelay(ad.Distance)
 	// launch at t - LaunchOffset, arrive after prop, plus dynamic jitter
-	// approximated as a 3-term sum of uniforms (near-Gaussian).
+	// approximated as a 12-uniform Irwin-Hall sum (see jitterDraw).
 	jit := a.jitterDraw()
 	return t - ad.LaunchOffset + prop + jit
 }
@@ -125,8 +125,10 @@ func (a *Aligner) jitterDraw() units.Time {
 	if rms == 0 {
 		return 0
 	}
-	// Sum of 3 uniforms on [-1,1] has sigma sqrt(3)/sqrt(3)=1... use
-	// 12-uniform approximation: sum of 12 U(0,1) - 6 ~ N(0,1).
+	// Irwin-Hall approximation: the sum of 12 U(0,1) draws has mean 6
+	// and variance 12/12 = 1, so (sum - 6) ~ N(0,1) with support
+	// [-6, 6] — standard normal moments without a Box-Muller transform,
+	// and draws stay bounded so one sample can never blow the window.
 	s := 0.0
 	for k := 0; k < 12; k++ {
 		s += a.rng.Float64()

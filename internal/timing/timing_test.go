@@ -46,6 +46,48 @@ func TestAlignerSpreadWithinWindow(t *testing.T) {
 	}
 }
 
+// TestJitterDrawMomentsMatchGaussian pins the Irwin-Hall approximation
+// the jitterDraw comment promises: a 12-uniform sum scaled by the tree
+// RMS must match N(0, RMSJitter²) in its first two moments and never
+// leave the hard ±6σ support of the sum.
+func TestJitterDrawMomentsMatchGaussian(t *testing.T) {
+	ct := DemonstratorClockTree()
+	a := NewAligner(ct, []float64{10}, 42)
+	rms := float64(ct.RMSJitter())
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		j := float64(a.jitterDraw())
+		if math.Abs(j) > 6*rms {
+			t.Fatalf("draw %.0f ps outside the ±6σ Irwin-Hall support (σ = %.0f ps)", j, rms)
+		}
+		sum += j
+		sumSq += j * j
+	}
+	mean := sum / n
+	// Standard error of the mean is σ/√n ≈ 0.3 ps at σ ≈ 139 ps; a 5σ
+	// band keeps the deterministic seed comfortably inside.
+	if tol := 5 * rms / math.Sqrt(n); math.Abs(mean) > tol {
+		t.Errorf("jitter mean %.2f ps, want |mean| < %.2f ps", mean, tol)
+	}
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	// 2% relative: >10 standard errors of the sample σ at this n, yet
+	// tight enough to catch a 3-term sum (σ off by √(3/12) = 2x) or a
+	// forgotten -6 centering instantly.
+	if math.Abs(sd-rms) > 0.02*rms {
+		t.Errorf("jitter stddev %.2f ps, want %.2f ps ± 2%%", sd, rms)
+	}
+	// Zero-jitter trees must draw exactly zero (no RNG consumption noise).
+	quiet := ct
+	quiet.JitterPerLevel = 0
+	q := NewAligner(quiet, []float64{10}, 7)
+	for i := 0; i < 100; i++ {
+		if j := q.jitterDraw(); j != 0 {
+			t.Fatalf("zero-RMS tree drew %v", j)
+		}
+	}
+}
+
 func TestAlignerDetectsBadCalibration(t *testing.T) {
 	ct := DemonstratorClockTree()
 	ct.CalibrationResidual = 10 * units.Nanosecond // hopeless calibration
