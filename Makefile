@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint verify
+.PHONY: build vet test race lint bench verify
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,13 @@ race:
 
 lint:
 	$(GO) run ./cmd/osmosislint ./...
+
+# Hot-path microbenchmarks (scheduler TickInto, crossbar Step). CI runs
+# these with -benchtime 1x as a smoke test; run locally without BENCHTIME
+# for real numbers (see BENCH_sched.json for the tracked baseline).
+BENCHTIME ?=
+bench:
+	$(GO) test -run '^$$' -bench . $(if $(BENCHTIME),-benchtime $(BENCHTIME)) -benchmem ./internal/sched/ ./internal/crossbar/
 
 verify: build vet test lint
 	@echo "verify: OK"

@@ -23,7 +23,18 @@ import (
 	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
+
+// stopProf flushes any running profilers; exit paths must call it
+// because os.Exit skips deferred functions.
+var stopProf = func() {}
+
+// exit stops profiling, then terminates with the given code.
+func exit(code int) {
+	stopProf()
+	os.Exit(code)
+}
 
 // validateSeed enforces the RunConfig.Seed contract at the flag
 // boundary: 0 is "unset", so an explicit -seed 0 is rejected loudly
@@ -44,6 +55,7 @@ func main() {
 		seed  = flag.Uint64("seed", experiments.DefaultSeed, "RNG seed (>= 1)")
 		par   = flag.Int("par", runtime.NumCPU(), "max concurrent experiments (1 = serial)")
 	)
+	pf := prof.Register()
 	flag.Parse()
 
 	seedExplicit := false
@@ -64,6 +76,14 @@ func main() {
 		return
 	}
 
+	stop, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	stopProf = stop
+	defer stopProf()
+
 	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed}
 	var toRun []experiments.Experiment
 	if *id != "" {
@@ -81,7 +101,7 @@ func main() {
 	for _, o := range experiments.RunMany(toRun, cfg, *par) {
 		if o.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", o.Experiment.ID, o.Err)
-			os.Exit(1)
+			exit(1)
 		}
 		o.Result.Write(os.Stdout)
 		if !o.Result.AllMatch() {
@@ -90,6 +110,6 @@ func main() {
 	}
 	if mismatches > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) had mismatched findings\n", mismatches)
-		os.Exit(1)
+		exit(1)
 	}
 }

@@ -28,10 +28,21 @@ import (
 	"repro/internal/core"
 	"repro/internal/crossbar"
 	"repro/internal/fault"
+	"repro/internal/prof"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
+
+// stopProf flushes any running profilers; fatal/exit paths must call it
+// because os.Exit skips deferred functions.
+var stopProf = func() {}
+
+// exit stops profiling, then terminates with the given code.
+func exit(code int) {
+	stopProf()
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -53,7 +64,15 @@ func main() {
 		asic      = flag.Bool("asic", false, "use the ASIC-target cell format (12 GByte/s ports)")
 		faultSpec = flag.String("faults", "", "fault campaign, e.g. rx:3@2000,ber:0=1e-4@5000+1000,stall:50@4000,rand:4@1000-8000")
 	)
+	pf := prof.Register()
 	flag.Parse()
+
+	stop, err := pf.Start()
+	if err != nil {
+		fatal(err)
+	}
+	stopProf = stop
+	defer stopProf()
 
 	sysCfg := core.DemonstratorConfig()
 	sysCfg.Ports = *ports
@@ -97,7 +116,7 @@ func main() {
 		rep := sys.Verify(core.Table1(), sat, light.Latency.Mean(), 2048)
 		fmt.Print(rep)
 		if !rep.Pass() {
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -237,5 +256,5 @@ func parseLoads(s string) ([]float64, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	exit(1)
 }

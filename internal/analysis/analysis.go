@@ -82,7 +82,7 @@ func (d Diagnostic) String() string {
 
 // All returns the framework's analyzers in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, UnitSafety, PanicFree, ErrCheck}
+	return []*Analyzer{Determinism, UnitSafety, PanicFree, ErrCheck, HotPath}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

@@ -25,6 +25,7 @@ var fixtureCases = []struct {
 	{"unitsafety", analysis.UnitSafety, "repro/internal/optics/fixture"},
 	{"panicfree", analysis.PanicFree, "repro/internal/fec/fixture"},
 	{"errcheck", analysis.ErrCheck, "repro/internal/link/fixture"},
+	{"hotpath", analysis.HotPath, "repro/internal/sched/fixture"},
 }
 
 // wantRe matches expectation comments: // want:<analyzer> "substring".
@@ -208,8 +209,8 @@ func helper(s string) int {
 // TestByName resolves analyzer subsets and rejects unknown names.
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
 	}
 	two, err := analysis.ByName("determinism, errcheck")
 	if err != nil || len(two) != 2 {

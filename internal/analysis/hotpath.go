@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPath enforces the simulator's zero-allocation contract on the
+// per-cycle inner loops. A function opts in with the directive comment
+//
+//	//osmosis:hotpath
+//
+// in its doc block; inside such a function the analyzer flags the
+// constructs that heap-allocate per call in steady state:
+//
+//   - make(...)            — build the buffer once in the constructor
+//     and reuse it;
+//   - append(...)          — growth reallocates; appends into retained,
+//     cap-stable scratch document themselves with a lint:ignore reason;
+//   - map composite literals — allocate and, worse, invite map
+//     iteration into deterministic code;
+//   - function literals    — a capturing closure escapes to the heap.
+//
+// The annotation is the machine-checked half of the contract; the
+// testing.AllocsPerRun regression tests are the measured half. Keeping
+// both means a reviewer can trust that any //osmosis:hotpath function
+// stays allocation-free without reading its whole call graph.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag make/append/map-literal/closure in //osmosis:hotpath functions",
+	Run:  runHotPath,
+}
+
+// hotPathDirective marks a function as a steady-state inner loop.
+const hotPathDirective = "//osmosis:hotpath"
+
+// isHotPath reports whether the function's doc block carries the
+// directive.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == hotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPath(pass *Pass) {
+	isBuiltin := func(call *ast.CallExpr, name string) bool {
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != name {
+			return false
+		}
+		b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+		return ok && b.Name() == name
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			name := fn.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isBuiltin(n, "make") {
+						pass.Reportf(n.Pos(),
+							"make in hotpath function %s; preallocate in the constructor and reuse", name)
+					}
+					if isBuiltin(n, "append") {
+						pass.Reportf(n.Pos(),
+							"append in hotpath function %s may grow its backing array; reuse a retained cap-stable slice (or justify with a lint:ignore reason)", name)
+					}
+				case *ast.CompositeLit:
+					if t := pass.TypesInfo.TypeOf(n); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							pass.Reportf(n.Pos(),
+								"map literal in hotpath function %s allocates; hoist it out of the per-cycle path", name)
+						}
+					}
+				case *ast.FuncLit:
+					pass.Reportf(n.Pos(),
+						"function literal in hotpath function %s; a capturing closure escapes to the heap", name)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package fixture seeds hotpath violations: per-call allocations
+// inside functions annotated //osmosis:hotpath.
+package fixture
+
+type engine struct {
+	scratch []int
+	sink    func()
+}
+
+// tick is the per-cycle inner loop.
+//
+//osmosis:hotpath
+func (e *engine) tick(n int) int {
+	buf := make([]int, n) // want:hotpath "make in hotpath function tick"
+	for i := 0; i < n; i++ {
+		buf[i] = i
+	}
+	e.scratch = append(e.scratch, n) // want:hotpath "append in hotpath function tick"
+	seen := map[int]bool{}           // want:hotpath "map literal in hotpath function tick"
+	seen[n] = true
+	e.sink = func() { _ = buf } // want:hotpath "function literal in hotpath function tick"
+	return len(buf)
+}
+
+// nested allocations inside deeper statements are still found.
+//
+//osmosis:hotpath
+func nested(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			row := make([]byte, i) // want:hotpath "make in hotpath function nested"
+			total += len(row)
+		}
+	}
+	return total
+}

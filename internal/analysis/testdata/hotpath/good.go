@@ -1,0 +1,27 @@
+package fixture
+
+// setup code without the annotation may allocate freely.
+func newEngine(n int) *engine {
+	return &engine{scratch: make([]int, 0, n)}
+}
+
+// steady reuses preallocated scratch: the compliant hotpath shape.
+//
+//osmosis:hotpath
+func (e *engine) steady(n int) int {
+	buf := e.scratch[:0]
+	for i := 0; i < n && i < cap(buf); i++ {
+		buf = buf[:i+1]
+		buf[i] = i
+	}
+	e.scratch = buf
+	return len(buf)
+}
+
+// justified documents a cap-stable append with a mandatory reason.
+//
+//osmosis:hotpath
+func (e *engine) justified(v int) {
+	//lint:ignore hotpath retained scratch pre-sized in newEngine; cap-stable after warm-up
+	e.scratch = append(e.scratch, v)
+}

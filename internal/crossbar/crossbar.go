@@ -142,8 +142,21 @@ type Switch struct {
 	alloc  *packet.Allocator
 	order  *packet.OrderChecker
 
-	// grantDelay delays matchings by ControlRTTCycles.
+	// words is ceil(N/64); rowBits[in*words..] and colBits[out*words..]
+	// hold the positive-demand bitsets the board serves to BitBoard-aware
+	// schedulers, maintained incrementally by demandSync on every
+	// demand-changing transition (push, pop, commit, uncommit).
+	words   int
+	rowBits []uint64
+	colBits []uint64
+
+	// match is the reusable per-slot matching scratch the scheduler's
+	// TickInto writes into.
+	match sched.Matching
+	// grantDelay is a fixed ring of ControlRTTCycles matchings delaying
+	// grants by the control RTT; grantPos indexes the slot to swap with.
 	grantDelay []sched.Matching
+	grantPos   uint64
 
 	// rxUp[out*Receivers+r] is the health of receiver r at egress out;
 	// upCount[out] caches the per-egress up total the scheduler sizes
@@ -297,12 +310,45 @@ func (b board) Demand(in, out int) int {
 	return d
 }
 
-func (b board) Commit(in, out int) { b.s.voqs[in].committed[out]++ }
+func (b board) Commit(in, out int) {
+	b.s.voqs[in].committed[out]++
+	b.s.demandSync(in, out)
+}
 
 func (b board) Uncommit(in, out int) {
 	v := b.s.voqs[in]
 	if v.committed[out] > 0 {
 		v.committed[out]--
+	}
+	b.s.demandSync(in, out)
+}
+
+// DemandRowBits implements sched.BitBoard from the incrementally
+// maintained row bitset — one word copy per 64 outputs instead of 64
+// Demand calls.
+func (b board) DemandRowBits(in int, row []uint64) {
+	copy(row, b.s.rowBits[in*b.s.words:(in+1)*b.s.words])
+}
+
+// DemandColBits implements sched.BitBoard.
+func (b board) DemandColBits(out int, col []uint64) {
+	copy(col, b.s.colBits[out*b.s.words:(out+1)*b.s.words])
+}
+
+// demandSync re-derives the (in, out) demand bit after any transition
+// that can change whether Demand(in, out) is positive.
+func (s *Switch) demandSync(in, out int) {
+	v := s.voqs[in]
+	mask := uint64(1) << (uint(out) & 63)
+	cmask := uint64(1) << (uint(in) & 63)
+	ri := in*s.words + out>>6
+	ci := out*s.words + in>>6
+	if v.backlog(out)-v.committed[out] > 0 {
+		s.rowBits[ri] |= mask
+		s.colBits[ci] |= cmask
+	} else {
+		s.rowBits[ri] &^= mask
+		s.colBits[ci] &^= cmask
 	}
 }
 
@@ -334,8 +380,13 @@ func New(cfg Config) (*Switch, error) {
 	s.alloc = packet.NewAllocator()
 	s.order = packet.NewOrderChecker()
 	s.metrics.CycleTime = cfg.Format.CycleTime()
-	for i := 0; i < cfg.ControlRTTCycles; i++ {
-		s.grantDelay = append(s.grantDelay, sched.NewMatching(cfg.N))
+	s.words = (cfg.N + 63) / 64
+	s.rowBits = make([]uint64, cfg.N*s.words)
+	s.colBits = make([]uint64, cfg.N*s.words)
+	s.match = sched.NewMatching(cfg.N)
+	s.grantDelay = make([]sched.Matching, cfg.ControlRTTCycles)
+	for i := range s.grantDelay {
+		s.grantDelay[i] = sched.NewMatching(cfg.N)
 	}
 	s.rxUp = make([]bool, cfg.N*cfg.Receivers)
 	for i := range s.rxUp {
@@ -451,15 +502,28 @@ func (s *Switch) now() units.Time {
 }
 
 // StartMeasurement begins the measurement window (call after warm-up).
-// measureSlots is recorded for throughput normalization.
+// measureSlots is recorded for throughput normalization; the latency
+// collectors pre-size their sample buffers from the window length so the
+// measured loop does not start from empty buffers.
 func (s *Switch) StartMeasurement(measureSlots uint64) {
 	s.measuring = true
 	s.metrics.MeasureSlots = measureSlots
 	s.epoch = epochState{from: s.slot}
+	est := int(measureSlots)
+	s.metrics.Latency.Grow(est)
+	s.metrics.ControlLatency.Grow(est / 8)
+	s.epoch.lat.Grow(est)
 }
 
 // Step advances the switch by one packet cycle. arrivals[i], when
-// non-nil, is the cell arriving at input i this cycle.
+// non-nil, is the cell arriving at input i this cycle. The switch takes
+// ownership of the cells: delivered and dropped cells are returned to
+// the switch's allocator for reuse, so callers must not retain them.
+//
+// The steady-state Step performs zero heap allocations (pinned by the
+// AllocsPerRun regression test) outside the measurement collectors.
+//
+//osmosis:hotpath
 func (s *Switch) Step(arrivals []*packet.Cell) {
 	// 0. Fault transitions due this slot land before anything moves, so
 	// the arbiter and data path see a consistent component state.
@@ -482,41 +546,44 @@ func (s *Switch) Step(arrivals []*packet.Cell) {
 			continue
 		}
 		s.voqs[in].push(c, c.Dst)
+		s.demandSync(in, c.Dst)
 	}
 	// 2. Arbitrate and (after the control RTT) execute the matching.
 	if !s.cfg.IdealOQ {
-		var m sched.Matching
+		bd := board{s}
 		if s.stall > 0 {
 			// Scheduler-pipeline stall: the arbiter is frozen, but the
 			// grant pipeline keeps shifting so already-issued grants
 			// execute on time.
 			s.stall--
 			s.Stalls++
-			m = sched.NewMatching(s.cfg.N)
+			s.match.Reset()
 		} else {
-			m = s.cfg.Scheduler.Tick(s.slot, board{s})
+			s.cfg.Scheduler.TickInto(s.slot, bd, &s.match)
 		}
-		if len(s.grantDelay) > 0 || s.cfg.ControlRTTCycles > 0 {
+		if d := uint64(len(s.grantDelay)); d > 0 {
 			// A delayed matching's cells must be reserved until it
 			// executes; pipelined schedulers reserve their own edges.
 			if !s.cfg.Scheduler.SelfCommits() {
-				for in, out := range m.Out {
+				for in, out := range s.match.Out {
 					if out >= 0 {
-						s.voqs[in].committed[out]++
+						bd.Commit(in, out)
 					}
 				}
 			}
-			s.grantDelay = append(s.grantDelay, m)
-			m = s.grantDelay[0]
-			s.grantDelay = s.grantDelay[1:]
+			// Swap the fresh matching into the ring slot whose occupant —
+			// computed ControlRTTCycles ago — executes this slot.
+			idx := s.grantPos % d
+			s.grantDelay[idx].Out, s.match.Out = s.match.Out, s.grantDelay[idx].Out
+			s.grantPos++
 		}
 		if s.cfg.OnMatch != nil {
-			s.cfg.OnMatch(s.slot, m)
+			s.cfg.OnMatch(s.slot, s.match)
 		}
 		for i := range s.rxUsed {
 			s.rxUsed[i] = 0
 		}
-		for in, out := range m.Out {
+		for in, out := range s.match.Out {
 			if out < 0 {
 				continue
 			}
@@ -525,7 +592,7 @@ func (s *Switch) Step(arrivals []*packet.Cell) {
 			// cell may find its egress short a receiver. Refused cells
 			// stay queued and re-arbitrate; they are delayed, never lost.
 			if s.rxUsed[out] >= s.upCount[out] {
-				board{s}.Uncommit(in, out)
+				bd.Uncommit(in, out)
 				if s.measuring {
 					s.metrics.ReceiverRejects++
 					s.epoch.rejects++
@@ -533,6 +600,7 @@ func (s *Switch) Step(arrivals []*packet.Cell) {
 				continue
 			}
 			c := s.voqs[in].pop(out)
+			s.demandSync(in, out)
 			if c == nil {
 				// A matching edge found no cell (possible only with a
 				// mis-behaving scheduler); surface it loudly in tests.
@@ -572,6 +640,8 @@ func (s *Switch) Step(arrivals []*packet.Cell) {
 				s.metrics.ControlLatency.Add(c.Delivered - c.Created)
 			}
 		}
+		// The cell has left the fabric; recycle it.
+		s.alloc.Free(c)
 	}
 	// 4. Depth tracking.
 	for _, v := range s.voqs {
@@ -613,6 +683,7 @@ func (s *Switch) receive(c *packet.Cell, out int) {
 			s.metrics.Dropped++
 			s.epoch.dropped++
 		}
+		s.alloc.Free(c)
 		return
 	}
 	c.Hops++

@@ -77,9 +77,16 @@ func (c *Cell) String() string {
 
 // Allocator hands out cells with unique IDs and per-flow sequence
 // numbers. One allocator is shared per simulation run.
+//
+// Retired cells can be handed back with Free; New then recycles them
+// instead of heap-allocating, so a steady-state simulation loop whose
+// cells all retire (the crossbar engine frees at delivery and at drop)
+// allocates no cells after warm-up. Identity assignment (ID, Seq) is
+// identical whether a cell is fresh or recycled.
 type Allocator struct {
 	nextID uint64
 	seq    map[flowKey]uint64
+	free   []*Cell
 }
 
 type flowKey struct {
@@ -93,19 +100,38 @@ func NewAllocator() *Allocator {
 }
 
 // New creates a cell for the given flow, stamping ID, Seq and Created.
+// It reuses a freed cell when one is available.
 func (a *Allocator) New(src, dst int, class Class, now units.Time) *Cell {
 	k := flowKey{src, dst, class}
 	seq := a.seq[k]
 	a.seq[k] = seq + 1
 	a.nextID++
-	return &Cell{
-		ID:      a.nextID,
-		Src:     src,
-		Dst:     dst,
-		Class:   class,
-		Seq:     seq,
-		Created: now,
+	var c *Cell
+	if n := len(a.free); n > 0 {
+		c = a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		*c = Cell{}
+	} else {
+		c = &Cell{}
 	}
+	c.ID = a.nextID
+	c.Src = src
+	c.Dst = dst
+	c.Class = class
+	c.Seq = seq
+	c.Created = now
+	return c
+}
+
+// Free returns a retired cell to the allocator for reuse. The caller
+// must not keep any reference to it: the next New may hand the same
+// memory out as a different cell. Freeing nil is a no-op.
+func (a *Allocator) Free(c *Cell) {
+	if c == nil {
+		return
+	}
+	a.free = append(a.free, c)
 }
 
 // Issued reports how many cells have been allocated.

@@ -1,0 +1,94 @@
+// Package prof wires the standard pprof/trace collectors into the
+// command-line tools behind three flags, so a hot-path regression can be
+// profiled with nothing but the repo:
+//
+//	experiments -quick -cpuprofile cpu.out -memprofile mem.out
+//	osmosis -load 0.9 -trace trace.out
+//	go tool pprof cpu.out        # or: go tool trace trace.out
+//
+// Profiling only observes the run; it never changes simulation output —
+// determinism contracts (byte-identical experiment records) hold with
+// and without it.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the three output paths; empty means off.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// Register declares -cpuprofile, -memprofile, and -trace on the default
+// flag set. Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	return f
+}
+
+// Start begins the requested collectors and returns a stop function to
+// defer in main; stop flushes the memory profile and closes all files.
+// On any setup error, nothing is left running.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if traceFile != nil {
+			trace.Stop()
+			_ = traceFile.Close()
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			_ = cpuFile.Close()
+		}
+	}
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			_ = cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			_ = traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("prof: start trace: %w", err)
+		}
+	}
+	mem := f.MemProfile
+	return func() {
+		cleanup()
+		if mem != "" {
+			out, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: write heap profile: %v\n", err)
+			}
+			_ = out.Close()
+		}
+	}, nil
+}

@@ -1,0 +1,124 @@
+package sched
+
+// Allocation regression tests: the steady-state TickInto of every
+// scheduler must perform zero heap allocations, on both the BitBoard
+// fast path and the Demand-loop fallback. These are the measured half of
+// the //osmosis:hotpath contract (the osmosislint hotpath analyzer is
+// the static half); a regression in either fails the build.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fallbackBoard hides benchBoard's BitBoard methods (no embedding, so
+// nothing is promoted) and forces TickInto onto the per-(in,out) Demand
+// snapshot fallback.
+type fallbackBoard struct{ b *benchBoard }
+
+func (f fallbackBoard) N() int                 { return f.b.N() }
+func (f fallbackBoard) Receivers() int         { return f.b.Receivers() }
+func (f fallbackBoard) ReceiversAt(o int) int  { return f.b.ReceiversAt(o) }
+func (f fallbackBoard) Demand(in, out int) int { return f.b.Demand(in, out) }
+func (f fallbackBoard) Commit(in, out int)     { f.b.Commit(in, out) }
+func (f fallbackBoard) Uncommit(in, out int)   { f.b.Uncommit(in, out) }
+
+func TestTickIntoStaysAllocationFree(t *testing.T) {
+	if _, ok := interface{}(fallbackBoard{}).(BitBoard); ok {
+		t.Fatal("fallbackBoard must not implement BitBoard")
+	}
+	mks := []struct {
+		name string
+		mk   func(n int) Scheduler
+	}{
+		{"islip", func(n int) Scheduler { return NewISLIP(n, 0) }},
+		{"flppr", func(n int) Scheduler { return NewFLPPR(n, 0) }},
+		{"pipelined", func(n int) Scheduler { return NewPipelinedISLIP(n, 0) }},
+		{"pim", func(n int) Scheduler { return NewPIM(n, 0, 13) }},
+		{"lqf", func(n int) Scheduler { return NewLQF(n) }},
+	}
+	for _, n := range []int{16, 64, 100} {
+		for _, tc := range mks {
+			for _, fast := range []bool{true, false} {
+				name := fmt.Sprintf("%s/n=%d/bitboard=%v", tc.name, n, fast)
+				t.Run(name, func(t *testing.T) {
+					bd := newBenchBoard(n, 2, 21)
+					var view Board = bd
+					if !fast {
+						view = fallbackBoard{bd}
+					}
+					s := tc.mk(n)
+					m := NewMatching(n)
+					slot := uint64(0)
+					tick := func() {
+						s.TickInto(slot, view, &m)
+						bd.execute(m)
+						slot++
+					}
+					// Warm until retained scratch reaches steady caps.
+					for i := 0; i < 64; i++ {
+						tick()
+					}
+					if avg := testing.AllocsPerRun(100, tick); avg != 0 {
+						t.Fatalf("steady-state TickInto allocates %.1f allocs/op, want 0", avg)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestResetStaysAllocationFree pins the Reset bugfix: pointer and
+// pipeline state must be zeroed in place, never reallocated, so a Reset
+// can never detach the arbiter from scratch an alias still points at.
+func TestResetStaysAllocationFree(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    Scheduler
+	}{
+		{"islip", NewISLIP(64, 0)},
+		{"flppr", NewFLPPR(64, 0)},
+		{"pipelined", NewPipelinedISLIP(64, 0)},
+		{"pim", NewPIM(64, 0, 5)},
+		{"lqf", NewLQF(64)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bd := newBenchBoard(64, 2, 3)
+			m := NewMatching(64)
+			for i := 0; i < 8; i++ {
+				tc.s.TickInto(uint64(i), bd, &m)
+				bd.execute(m)
+			}
+			limit := 0.0
+			if tc.name == "pim" {
+				limit = 1 // NewRNG reseeds one small state object
+			}
+			if avg := testing.AllocsPerRun(50, tc.s.Reset); avg > limit {
+				t.Fatalf("Reset allocates %.1f allocs/op, want <= %.0f", avg, limit)
+			}
+		})
+	}
+}
+
+// TestISLIPResetZeroesInPlace pins the pointer-slice identity across
+// Reset: the fix for the reallocation bug where a Reset made the
+// arbiter's live scratch diverge from any captured alias.
+func TestISLIPResetZeroesInPlace(t *testing.T) {
+	s := NewISLIP(8, 0)
+	bd := newBenchBoard(8, 1, 9)
+	m := NewMatching(8)
+	for i := 0; i < 4; i++ {
+		s.TickInto(uint64(i), bd, &m)
+	}
+	gp, ap := &s.grantPtr[0], &s.acceptPtr[0]
+	s.Reset()
+	if gp != &s.grantPtr[0] || ap != &s.acceptPtr[0] {
+		t.Fatal("Reset reallocated the pointer slices instead of zeroing in place")
+	}
+	for i := range s.grantPtr {
+		if s.grantPtr[i] != 0 || s.acceptPtr[i] != 0 {
+			t.Fatalf("Reset left pointer state at index %d: grant=%d accept=%d",
+				i, s.grantPtr[i], s.acceptPtr[i])
+		}
+	}
+}

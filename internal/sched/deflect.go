@@ -24,6 +24,10 @@ import (
 // topology (documented in DESIGN.md): the recirculation loop stands in
 // for the extra angle/height hops of a deflected cell, and re-entry
 // contention for the vortex's injection-port blocking.
+//
+// The per-slot occupancy/contention scratch is retained across Steps and
+// retired deflCell wrappers are recycled through a free list, so the
+// steady-state slot allocates nothing.
 type Deflect struct {
 	n int
 	// LoopSlots is the recirculation delay before a deflected cell
@@ -38,6 +42,13 @@ type Deflect struct {
 	// loop[t % len] holds cells re-entering at slot t.
 	loop [][]*deflCell
 	slot uint64
+
+	// Per-slot scratch, retained across Steps.
+	occupied   []*deflCell
+	overflow   []*deflCell
+	contenders [][]*deflCell
+	// free recycles retired deflCell wrappers.
+	free []*deflCell
 
 	// Sink receives delivered cells with their latency in slots.
 	Sink func(c *packet.Cell, latencySlots uint64)
@@ -65,6 +76,9 @@ func NewDeflect(n, loopSlots, maxDeflections int) *Deflect {
 		LoopSlots:      loopSlots,
 		MaxDeflections: maxDeflections,
 		rng:            sim.NewRNG(uint64(n)*0x9e3779b97f4a7c15 + 7),
+		occupied:       make([]*deflCell, n),
+		overflow:       make([]*deflCell, 0, n),
+		contenders:     make([][]*deflCell, n),
 	}
 	d.loop = make([][]*deflCell, loopSlots+1)
 	return d
@@ -82,15 +96,35 @@ func (d *Deflect) Recirculating() int {
 	return total
 }
 
+// get wraps a cell in a recycled (or new) deflCell.
+func (d *Deflect) get(c *packet.Cell, arrived uint64) *deflCell {
+	if n := len(d.free); n > 0 {
+		dc := d.free[n-1]
+		d.free = d.free[:n-1]
+		dc.c, dc.arrived, dc.bounces = c, arrived, 0
+		return dc
+	}
+	return &deflCell{c: c, arrived: arrived}
+}
+
+// put retires a deflCell wrapper back to the free list.
+func (d *Deflect) put(dc *deflCell) {
+	dc.c = nil
+	d.free = append(d.free, dc)
+}
+
 // Step advances one slot. arrivals[i] is the new cell at input i (nil
 // for none); an arrival whose input is occupied by a re-entering cell
 // is refused (InputBlocked) — the source must retry later, which is the
 // injection-throughput limit of the architecture.
+//
+//osmosis:hotpath
 func (d *Deflect) Step(arrivals []*packet.Cell) {
 	idx := int(d.slot % uint64(len(d.loop)))
 	// Re-entering cells claim their input ports first.
-	occupied := make([]*deflCell, d.n)
-	var overflow []*deflCell
+	occupied := d.occupied
+	clear(occupied)
+	overflow := d.overflow[:0]
 	for _, dc := range d.loop[idx] {
 		in := (dc.c.Src + dc.bounces) % d.n
 		if occupied[in] == nil {
@@ -98,11 +132,14 @@ func (d *Deflect) Step(arrivals []*packet.Cell) {
 		} else {
 			// Port already claimed this slot: circulate one more turn
 			// (not counted as a deflection; it is loop congestion).
+			//lint:ignore hotpath append into a retained overflow slice pre-sized to N; cap-stable, amortized alloc-free
 			overflow = append(overflow, dc)
 		}
 	}
+	d.overflow = overflow
 	d.loop[idx] = d.loop[idx][:0]
 	land := (idx + d.LoopSlots) % len(d.loop)
+	//lint:ignore hotpath append into a retained recirculation batch; cap-stable after warm-up
 	d.loop[land] = append(d.loop[land], overflow...)
 
 	for in, c := range arrivals {
@@ -113,14 +150,18 @@ func (d *Deflect) Step(arrivals []*packet.Cell) {
 			d.InputBlocked++
 			continue
 		}
-		occupied[in] = &deflCell{c: c, arrived: d.slot}
+		occupied[in] = d.get(c, d.slot)
 	}
 
 	// Contention per output; the winner is positional (no age priority,
 	// exactly why deflection reorders flows).
-	contenders := make([][]*deflCell, d.n)
+	contenders := d.contenders
+	for i := range contenders {
+		contenders[i] = contenders[i][:0]
+	}
 	for _, dc := range occupied {
 		if dc != nil {
+			//lint:ignore hotpath append into a retained per-output contender row; rows are length-reset and cap-stable after warm-up
 			contenders[dc.c.Dst] = append(contenders[dc.c.Dst], dc)
 		}
 	}
@@ -133,6 +174,7 @@ func (d *Deflect) Step(arrivals []*packet.Cell) {
 		if d.Sink != nil {
 			d.Sink(cs[win].c, d.slot-cs[win].arrived+1)
 		}
+		d.put(cs[win])
 		for i, dc := range cs {
 			if i == win {
 				continue
@@ -141,8 +183,10 @@ func (d *Deflect) Step(arrivals []*packet.Cell) {
 			d.Deflections++
 			if dc.bounces > d.MaxDeflections {
 				d.Dropped++
+				d.put(dc)
 				continue
 			}
+			//lint:ignore hotpath append into a retained recirculation batch; cap-stable after warm-up
 			d.loop[land] = append(d.loop[land], dc)
 		}
 	}

@@ -1,0 +1,256 @@
+package sched
+
+// Golden equivalence suite for the bitset arbiter core: every rewritten
+// scheduler must produce bit-identical matchings — and leave bit-
+// identical committed state on the board — to the retained pre-rewrite
+// reference implementation (reference_test.go), tick by tick, over a
+// seeded random demand evolution. Covered: N in {4, 8, 64, 100, 256}
+// (including the non-power-of-two and the multi-word >64 cases), single
+// and dual receivers, a fault-degraded output, and the BitBoard fast
+// path against the Demand-loop fallback.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// eqBoard mirrors the crossbar engine's board semantics: Demand is the
+// backlog minus outstanding commitments, clamped at zero.
+type eqBoard struct {
+	n, r      int
+	recv      []int // ReceiversAt(out), fault-degradable
+	q         [][]int
+	committed [][]int
+}
+
+func newEqBoard(n, r int) *eqBoard {
+	b := &eqBoard{n: n, r: r, recv: make([]int, n), q: make([][]int, n), committed: make([][]int, n)}
+	for i := range b.q {
+		b.recv[i] = r
+		b.q[i] = make([]int, n)
+		b.committed[i] = make([]int, n)
+	}
+	return b
+}
+
+func (b *eqBoard) N() int                { return b.n }
+func (b *eqBoard) Receivers() int        { return b.r }
+func (b *eqBoard) ReceiversAt(o int) int { return b.recv[o] }
+
+func (b *eqBoard) Demand(in, out int) int {
+	d := b.q[in][out] - b.committed[in][out]
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func (b *eqBoard) Commit(in, out int)   { b.committed[in][out]++ }
+func (b *eqBoard) Uncommit(in, out int) { b.committed[in][out]-- }
+
+// execute retires one cycle's issued matching from the backlog, the way
+// the switch engine does: committed cells burn their reservation.
+func (b *eqBoard) execute(m Matching, selfCommits bool) {
+	for in, out := range m.Out {
+		if out < 0 {
+			continue
+		}
+		if selfCommits && b.committed[in][out] > 0 {
+			b.committed[in][out]--
+		}
+		if b.q[in][out] > 0 {
+			b.q[in][out]--
+		}
+	}
+}
+
+// arrive adds one seeded-random burst of demand. Both boards in an
+// equivalence run receive identical bursts because they share the rng
+// call sequence.
+func (b *eqBoard) arrive(rng *sim.RNG) {
+	for k := 0; k < b.n; k++ {
+		if rng.Bernoulli(0.6) {
+			in := rng.Intn(b.n)
+			out := rng.Intn(b.n)
+			b.q[in][out] += 1 + rng.Intn(3)
+		}
+	}
+}
+
+// bitEqBoard layers the BitBoard fast path over eqBoard, computing the
+// bit rows from Demand on the fly (correct by construction, if slow —
+// the incremental version lives in the crossbar engine).
+type bitEqBoard struct{ *eqBoard }
+
+func (b bitEqBoard) DemandRowBits(in int, row []uint64) {
+	clearRow(row)
+	for out := 0; out < b.n; out++ {
+		if b.Demand(in, out) > 0 {
+			setBit(row, out)
+		}
+	}
+}
+
+func (b bitEqBoard) DemandColBits(out int, col []uint64) {
+	clearRow(col)
+	for in := 0; in < b.n; in++ {
+		if b.Demand(in, out) > 0 {
+			setBit(col, in)
+		}
+	}
+}
+
+func matchingsEqual(a, b Matching) bool {
+	if len(a.Out) != len(b.Out) {
+		return false
+	}
+	for i := range a.Out {
+		if a.Out[i] != b.Out[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func boardsEqual(a, b *eqBoard) bool {
+	for in := 0; in < a.n; in++ {
+		for out := 0; out < a.n; out++ {
+			if a.q[in][out] != b.q[in][out] || a.committed[in][out] != b.committed[in][out] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// runEquivalence drives got (against gotBoard) and want (against an
+// identically seeded wantBoard) for ticks cycles and fails on the first
+// divergence in matching or board state.
+func runEquivalence(t *testing.T, ticks int, seed uint64,
+	gotBoard Board, gb *eqBoard, got Scheduler,
+	wb *eqBoard, want refScheduler, degrade bool) {
+	t.Helper()
+	rngGot := sim.NewRNG(seed)
+	rngWant := sim.NewRNG(seed)
+	if degrade && gb.r > 1 {
+		// One output lost a receiver to a fault before the run.
+		gb.recv[1] = gb.r - 1
+		wb.recv[1] = wb.r - 1
+	}
+	var m Matching
+	for tick := 0; tick < ticks; tick++ {
+		gb.arrive(rngGot)
+		wb.arrive(rngWant)
+		got.TickInto(uint64(tick), gotBoard, &m)
+		ref := want.Tick(uint64(tick), wb)
+		if !matchingsEqual(m, ref) {
+			t.Fatalf("tick %d: matching diverged\n got %v\nwant %v", tick, m.Out, ref.Out)
+		}
+		gb.execute(m, got.SelfCommits())
+		wb.execute(ref, want.SelfCommits())
+		if !boardsEqual(gb, wb) {
+			t.Fatalf("tick %d: board state diverged after execute", tick)
+		}
+	}
+}
+
+// schedulerPairs enumerates (rewritten, reference) constructions.
+func schedulerPairs(n int) []struct {
+	name string
+	got  func() Scheduler
+	want func() refScheduler
+} {
+	return []struct {
+		name string
+		got  func() Scheduler
+		want func() refScheduler
+	}{
+		{"islip", func() Scheduler { return NewISLIP(n, 0) }, func() refScheduler { return newRefISLIP(n, 0) }},
+		{"islip-1iter", func() Scheduler { return NewISLIP(n, 1) }, func() refScheduler { return newRefISLIP(n, 1) }},
+		{"flppr", func() Scheduler { return NewFLPPR(n, 0) }, func() refScheduler { return newRefFLPPR(n, 0) }},
+		{"pipelined", func() Scheduler { return NewPipelinedISLIP(n, 0) }, func() refScheduler { return newRefPipelinedISLIP(n, 0) }},
+		{"pim", func() Scheduler { return NewPIM(n, 0, 99) }, func() refScheduler { return newRefPIM(n, 0, 99) }},
+		{"lqf", func() Scheduler { return NewLQF(n) }, func() refScheduler { return newRefLQF(n) }},
+	}
+}
+
+// TestBitsetSchedulersMatchReference is the golden test of the rewrite:
+// bit-identical matchings against the retained pre-rewrite schedulers.
+func TestBitsetSchedulersMatchReference(t *testing.T) {
+	sizes := []int{4, 8, 64, 100, 256}
+	for _, n := range sizes {
+		ticks := 300
+		if n >= 100 {
+			ticks = 60 // the O(N²·iters) reference dominates runtime
+		}
+		for _, r := range []int{1, 2} {
+			for _, degrade := range []bool{false, true} {
+				if degrade && r == 1 {
+					continue
+				}
+				for _, p := range schedulerPairs(n) {
+					name := fmt.Sprintf("%s/n=%d/r=%d/degrade=%v", p.name, n, r, degrade)
+					t.Run(name, func(t *testing.T) {
+						gb := newEqBoard(n, r)
+						wb := newEqBoard(n, r)
+						runEquivalence(t, ticks, uint64(n*10+r), gb, gb, p.got(), wb, p.want(), degrade)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestBitBoardFastPathMatchesReference re-runs the golden comparison
+// with the scheduler reading the board through the BitBoard fast path
+// while the reference still walks Demand, proving the two snapshot
+// paths see the same world.
+func TestBitBoardFastPathMatchesReference(t *testing.T) {
+	for _, n := range []int{8, 64, 100} {
+		for _, r := range []int{1, 2} {
+			for _, p := range schedulerPairs(n) {
+				name := fmt.Sprintf("%s/n=%d/r=%d", p.name, n, r)
+				t.Run(name, func(t *testing.T) {
+					gb := newEqBoard(n, r)
+					wb := newEqBoard(n, r)
+					runEquivalence(t, 120, uint64(n*7+r), bitEqBoard{gb}, gb, p.got(), wb, p.want(), false)
+				})
+			}
+		}
+	}
+}
+
+// TestTickMatchesTickInto pins the compat wrapper: Tick must be exactly
+// TickInto into a fresh matching.
+func TestTickMatchesTickInto(t *testing.T) {
+	n := 16
+	for _, mk := range []func() Scheduler{
+		func() Scheduler { return NewISLIP(n, 0) },
+		func() Scheduler { return NewFLPPR(n, 0) },
+		func() Scheduler { return NewPipelinedISLIP(n, 0) },
+		func() Scheduler { return NewPIM(n, 0, 7) },
+		func() Scheduler { return NewLQF(n) },
+	} {
+		a, b := mk(), mk()
+		t.Run(a.Name(), func(t *testing.T) {
+			ba := newEqBoard(n, 2)
+			bb := newEqBoard(n, 2)
+			rngA := sim.NewRNG(3)
+			rngB := sim.NewRNG(3)
+			var m Matching
+			for tick := 0; tick < 100; tick++ {
+				ba.arrive(rngA)
+				bb.arrive(rngB)
+				got := a.Tick(uint64(tick), ba)
+				b.TickInto(uint64(tick), bb, &m)
+				if !matchingsEqual(got, m) {
+					t.Fatalf("tick %d: Tick %v != TickInto %v", tick, got.Out, m.Out)
+				}
+				ba.execute(got, a.SelfCommits())
+				bb.execute(m, b.SelfCommits())
+			}
+		})
+	}
+}

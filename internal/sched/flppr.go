@@ -17,14 +17,24 @@ package sched
 // completing matching first (that ordering is what minimizes request-to-
 // grant time). Edges are committed on the Board immediately. Each of
 // the K sub-schedulers keeps its own desynchronizing pointer pair.
+//
+// The K in-flight matchings live in a fixed ring and the demand
+// snapshot is taken once per cycle, patched as edges commit, so the
+// steady-state tick allocates nothing.
 type FLPPR struct {
 	n, k int
 	// Per-sub-scheduler iSLIP pointer state; sub-scheduler s owns the
 	// matchings completing at slots congruent to s mod k.
 	grantPtr  [][]int
 	acceptPtr [][]int
-	// pend[j] completes j cycles from now; pend[j].sub selects pointers.
-	pend []*flpprPartial
+	// pend is a ring of the k in-flight partial matchings; the matching
+	// completing j cycles from now is pend[(head+j) % k], and
+	// pend[j].sub selects the pointer pair.
+	pend []flpprPartial
+	head int
+	// prev holds the pre-iteration matching for commit diffing.
+	prev []int
+	sc   *arbScratch
 }
 
 type flpprPartial struct {
@@ -40,7 +50,18 @@ func NewFLPPR(n, k int) *FLPPR {
 		k = Log2Ceil(n)
 	}
 	f := &FLPPR{n: n, k: k}
-	f.Reset()
+	f.grantPtr = make([][]int, k)
+	f.acceptPtr = make([][]int, k)
+	for s := 0; s < k; s++ {
+		f.grantPtr[s] = make([]int, n)
+		f.acceptPtr[s] = make([]int, n)
+	}
+	f.pend = make([]flpprPartial, k)
+	for j := range f.pend {
+		f.pend[j] = flpprPartial{m: NewMatching(n), sub: j % k}
+	}
+	f.prev = make([]int, n)
+	f.sc = newArbScratch(n)
 	return f
 }
 
@@ -54,40 +75,54 @@ func (f *FLPPR) K() int { return f.k }
 // next-completing matching and is granted one cycle later.
 func (f *FLPPR) GrantLatency() int { return 1 }
 
-// Reset implements Scheduler.
+// Reset implements Scheduler. All pointer and pipeline state is zeroed
+// in place; nothing is reallocated.
 func (f *FLPPR) Reset() {
-	f.grantPtr = make([][]int, f.k)
-	f.acceptPtr = make([][]int, f.k)
 	for s := 0; s < f.k; s++ {
-		f.grantPtr[s] = make([]int, f.n)
-		f.acceptPtr[s] = make([]int, f.n)
+		clear(f.grantPtr[s])
+		clear(f.acceptPtr[s])
 	}
-	f.pend = make([]*flpprPartial, f.k)
-	for j := 0; j < f.k; j++ {
-		f.pend[j] = &flpprPartial{m: NewMatching(f.n), sub: j % f.k}
+	for j := range f.pend {
+		f.pend[j].m.Reset()
+		f.pend[j].sub = j % f.k
 	}
+	f.head = 0
 }
 
 // Tick implements Scheduler.
 func (f *FLPPR) Tick(slot uint64, b Board) Matching {
-	// One iteration of work on every in-flight matching, earliest-
-	// completing first so new requests land in the soonest grant.
-	prev := make([]int, f.n)
+	m := NewMatching(f.n)
+	f.TickInto(slot, b, &m)
+	return m
+}
+
+// TickInto implements Scheduler: one iteration of work on every
+// in-flight matching, earliest-completing first so new requests land in
+// the soonest grant. The request snapshot is taken once and patched as
+// edges commit, which keeps it exactly equal to the live board demand.
+//
+//osmosis:hotpath
+func (f *FLPPR) TickInto(slot uint64, b Board, m *Matching) {
+	f.sc.snapshot(b)
 	for j := 0; j < f.k; j++ {
-		p := f.pend[j]
-		copy(prev, p.m.Out)
-		if iterate(b, &p.m, f.grantPtr[p.sub], f.acceptPtr[p.sub], 1, nil) > 0 {
+		p := &f.pend[(f.head+j)%f.k]
+		copy(f.prev, p.m.Out)
+		if f.sc.iterate(b, &p.m, f.grantPtr[p.sub], f.acceptPtr[p.sub], 1) > 0 {
 			for in, out := range p.m.Out {
-				if out >= 0 && prev[in] != out {
+				if out >= 0 && f.prev[in] != out {
 					b.Commit(in, out)
+					f.sc.patch(b, in, out)
 				}
 			}
 		}
 	}
-	issued := f.pend[0]
-	copy(f.pend, f.pend[1:])
-	f.pend[f.k-1] = &flpprPartial{m: NewMatching(f.n), sub: int(slot % uint64(f.k))}
-	return issued.m
+	issued := &f.pend[f.head]
+	m.ensure(f.n)
+	copy(m.Out, issued.m.Out)
+	// The issued slot becomes the new farthest-out partial matching.
+	issued.m.Reset()
+	issued.sub = int(slot % uint64(f.k))
+	f.head = (f.head + 1) % f.k
 }
 
 // SelfCommits implements Scheduler: Tick commits every promised edge.

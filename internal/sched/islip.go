@@ -12,6 +12,11 @@ package sched
 // matching-quality reference. The pipelined prior-art form (one
 // iteration per FPGA cycle, matchings delivered log2N cycles after the
 // request) lives in pipelined.go.
+//
+// The protocol runs on the preallocated bitset core in bits.go; the
+// pre-rewrite slice-of-slices implementation is retained in
+// reference_test.go and the equivalence suite proves the two produce
+// bit-identical matchings.
 
 // ISLIP is a combinational multi-iteration iSLIP arbiter.
 type ISLIP struct {
@@ -21,6 +26,7 @@ type ISLIP struct {
 	grantPtr []int
 	// acceptPtr[in] is the input's round-robin accept pointer.
 	acceptPtr []int
+	sc        *arbScratch
 }
 
 // NewISLIP returns an n-port iSLIP arbiter running iters iterations per
@@ -29,8 +35,12 @@ func NewISLIP(n, iters int) *ISLIP {
 	if iters <= 0 {
 		iters = Log2Ceil(n)
 	}
-	s := &ISLIP{n: n, iters: iters}
-	s.Reset()
+	s := &ISLIP{
+		n: n, iters: iters,
+		grantPtr:  make([]int, n),
+		acceptPtr: make([]int, n),
+		sc:        newArbScratch(n),
+	}
 	return s
 }
 
@@ -41,104 +51,29 @@ func (s *ISLIP) Name() string { return "islip" }
 // the same cycle the request is made.
 func (s *ISLIP) GrantLatency() int { return 1 }
 
-// Reset implements Scheduler.
+// Reset implements Scheduler. The pointer slices are zeroed in place —
+// never reallocated — so Reset is allocation-free and no stale snapshot
+// can keep aliasing the pointer state the arbiter mutates.
 func (s *ISLIP) Reset() {
-	s.grantPtr = make([]int, s.n)
-	s.acceptPtr = make([]int, s.n)
+	clear(s.grantPtr)
+	clear(s.acceptPtr)
 }
 
 // Tick implements Scheduler.
-func (s *ISLIP) Tick(_ uint64, b Board) Matching {
+func (s *ISLIP) Tick(slot uint64, b Board) Matching {
 	m := NewMatching(s.n)
-	iterate(b, &m, s.grantPtr, s.acceptPtr, s.iters, nil)
+	s.TickInto(slot, b, &m)
 	return m
 }
 
-// iterate runs up to iters iterations of the round-robin request/grant/
-// accept protocol on a (possibly pre-populated) partial matching m.
+// TickInto implements Scheduler.
 //
-// demandUsed, when non-nil, tracks cells already promised by the caller
-// across several in-flight matchings (FLPPR): entry [in][out] is
-// subtracted from the board demand.
-//
-// Pointer update follows the iSLIP rule: pointers move one past the
-// match only for matches made in the first iteration of this call chain
-// (firstIter indexes which absolute iteration this call starts at; the
-// caller passes 0 pointers for classic behaviour).
-func iterate(b Board, m *Matching, grantPtr, acceptPtr []int, iters int, demandUsed [][]int) int {
-	n := b.N()
-	outLoad := m.OutputLoad(n)
-	added := 0
-	for it := 0; it < iters; it++ {
-		// Grant phase: each output with spare receiver capacity grants
-		// up to its remaining capacity among requesting unmatched inputs,
-		// scanning round-robin from its pointer. Capacity is the live
-		// per-output receiver count, so a fault-degraded egress grants
-		// like a narrower healthy one.
-		grants := make([][]int, n) // grants[in] = outputs granting to in
-		granted := false
-		for out := 0; out < n; out++ {
-			capacity := b.ReceiversAt(out) - outLoad[out]
-			if capacity <= 0 {
-				continue
-			}
-			start := grantPtr[out]
-			for k := 0; k < n && capacity > 0; k++ {
-				in := (start + k) % n
-				if m.Out[in] >= 0 {
-					continue
-				}
-				d := b.Demand(in, out)
-				if demandUsed != nil {
-					d -= demandUsed[in][out]
-				}
-				if d <= 0 {
-					continue
-				}
-				grants[in] = append(grants[in], out)
-				capacity--
-				granted = true
-			}
-		}
-		if !granted {
-			break
-		}
-		// Accept phase: each input with grants accepts the first in
-		// round-robin order from its accept pointer.
-		accepted := false
-		for in := 0; in < n; in++ {
-			gs := grants[in]
-			if len(gs) == 0 || m.Out[in] >= 0 {
-				continue
-			}
-			best, bestDist := -1, n+1
-			for _, out := range gs {
-				dist := (out - acceptPtr[in] + n) % n
-				if dist < bestDist {
-					best, bestDist = out, dist
-				}
-			}
-			if best < 0 || outLoad[best] >= b.ReceiversAt(best) {
-				continue
-			}
-			m.Out[in] = best
-			outLoad[best]++
-			added++
-			accepted = true
-			if demandUsed != nil {
-				demandUsed[in][best]++
-			}
-			// iSLIP pointer rule: update on first-iteration accepts only.
-			if it == 0 {
-				grantPtr[best] = (in + 1) % n
-				acceptPtr[in] = (best + 1) % n
-			}
-		}
-		if !accepted {
-			break
-		}
-	}
-	return added
+//osmosis:hotpath
+func (s *ISLIP) TickInto(_ uint64, b Board, m *Matching) {
+	m.ensure(s.n)
+	m.Reset()
+	s.sc.snapshot(b)
+	s.sc.iterate(b, m, s.grantPtr, s.acceptPtr, s.iters)
 }
 
 // SelfCommits implements Scheduler: the combinational arbiter's grants

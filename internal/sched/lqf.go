@@ -1,6 +1,6 @@
 package sched
 
-import "sort"
+import "slices"
 
 // LQF is the Longest-Queue-First maximal-weight heuristic: a greedy
 // matching that repeatedly grants the (input, output) pair with the
@@ -11,12 +11,29 @@ import "sort"
 // cell times — which is exactly why the paper's arbiter family is
 // round-robin based. Included as the matching-quality reference in the
 // scheduler ablations.
+//
+// The edge list and output-load scratch are retained across cycles and
+// the demand scan walks the bits.go request snapshot, so Demand is
+// queried only where a request exists and the steady-state tick
+// allocates nothing. The comparator is a total order on (weight desc,
+// in asc, out asc) over distinct (in, out) pairs, so the sorted order —
+// and therefore the matching — is unique regardless of sort algorithm.
 type LQF struct {
-	n int
+	n       int
+	sc      *arbScratch
+	edges   []lqfEdge
+	outLoad []int
 }
 
 // NewLQF returns an n-port LQF arbiter.
-func NewLQF(n int) *LQF { return &LQF{n: n} }
+func NewLQF(n int) *LQF {
+	return &LQF{
+		n:       n,
+		sc:      newArbScratch(n),
+		edges:   make([]lqfEdge, 0, n*4),
+		outLoad: make([]int, n),
+	}
+}
 
 // Name implements Scheduler.
 func (l *LQF) Name() string { return "lqf" }
@@ -34,29 +51,46 @@ type lqfEdge struct {
 	in, out, w int
 }
 
+// compareLQFEdges orders deepest queue first with a deterministic
+// (in, out) tiebreak — a total order over distinct pairs, so the sorted
+// order is unique regardless of sort algorithm.
+func compareLQFEdges(a, b lqfEdge) int {
+	if a.w != b.w {
+		return b.w - a.w
+	}
+	if a.in != b.in {
+		return a.in - b.in
+	}
+	return a.out - b.out
+}
+
 // Tick implements Scheduler.
-func (l *LQF) Tick(_ uint64, b Board) Matching {
-	n := b.N()
-	edges := make([]lqfEdge, 0, n*4)
+func (l *LQF) Tick(slot uint64, b Board) Matching {
+	m := NewMatching(l.n)
+	l.TickInto(slot, b, &m)
+	return m
+}
+
+// TickInto implements Scheduler.
+//
+//osmosis:hotpath
+func (l *LQF) TickInto(_ uint64, b Board, m *Matching) {
+	n := l.n
+	m.ensure(n)
+	m.Reset()
+	l.sc.snapshot(b)
+	edges := l.edges[:0]
 	for in := 0; in < n; in++ {
-		for out := 0; out < n; out++ {
-			if w := b.Demand(in, out); w > 0 {
-				edges = append(edges, lqfEdge{in, out, w})
-			}
+		row := l.sc.row(l.sc.reqRow, in)
+		for out := nextSetBit(row, n, 0); out >= 0; out = nextSetBit(row, n, out+1) {
+			//lint:ignore hotpath append into a retained edge slice; cap-stable after warm-up, amortized alloc-free
+			edges = append(edges, lqfEdge{in, out, b.Demand(in, out)})
 		}
 	}
-	// Deepest queue first; deterministic tiebreak by (in, out).
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].w != edges[j].w {
-			return edges[i].w > edges[j].w
-		}
-		if edges[i].in != edges[j].in {
-			return edges[i].in < edges[j].in
-		}
-		return edges[i].out < edges[j].out
-	})
-	m := NewMatching(n)
-	outLoad := make([]int, n)
+	l.edges = edges
+	slices.SortFunc(edges, compareLQFEdges)
+	outLoad := l.outLoad
+	clear(outLoad)
 	for _, e := range edges {
 		if m.Out[e.in] >= 0 || outLoad[e.out] >= b.ReceiversAt(e.out) {
 			continue
@@ -64,5 +98,4 @@ func (l *LQF) Tick(_ uint64, b Board) Matching {
 		m.Out[e.in] = e.out
 		outLoad[e.out]++
 	}
-	return m
 }

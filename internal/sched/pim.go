@@ -7,10 +7,29 @@ import "repro/internal/sim"
 // inputs accept a uniformly random grant. Its matching quality converges
 // in about log2 N iterations but it cannot desynchronize, so it saturates
 // near 63% with a single iteration. Included as a scheduler baseline.
+//
+// The requester discovery runs on the bits.go demand snapshot; the
+// random grant/accept draws consume the RNG in exactly the order of the
+// pre-rewrite implementation, so matchings are bit-identical to it
+// (pinned by the equivalence suite in reference_test.go).
 type PIM struct {
 	n, iters int
 	rng      *sim.RNG
 	seed     uint64
+
+	sc *arbScratch
+	// unmatched has bit in set while input in is unmatched.
+	unmatched []uint64
+	// cand is the per-output requester-scan scratch row.
+	cand []uint64
+	// grants[in] lists outputs granting to in this iteration; the rows
+	// are retained and re-sliced to length zero every iteration.
+	grants [][]int
+	// requesters/avail are the random-draw pools, retained across calls.
+	requesters []int
+	avail      []int
+	outLoad    []int
+	outCap     []int
 }
 
 // NewPIM returns an n-port PIM arbiter with the given iteration count
@@ -19,7 +38,18 @@ func NewPIM(n, iters int, seed uint64) *PIM {
 	if iters <= 0 {
 		iters = Log2Ceil(n)
 	}
-	return &PIM{n: n, iters: iters, rng: sim.NewRNG(seed), seed: seed}
+	p := &PIM{
+		n: n, iters: iters, rng: sim.NewRNG(seed), seed: seed,
+		sc:         newArbScratch(n),
+		unmatched:  make([]uint64, bitWords(n)),
+		cand:       make([]uint64, bitWords(n)),
+		grants:     make([][]int, n),
+		requesters: make([]int, 0, n),
+		avail:      make([]int, 0, n),
+		outLoad:    make([]int, n),
+		outCap:     make([]int, n),
+	}
+	return p
 }
 
 // Name implements Scheduler.
@@ -32,30 +62,53 @@ func (p *PIM) GrantLatency() int { return 1 }
 func (p *PIM) Reset() { p.rng = sim.NewRNG(p.seed) }
 
 // Tick implements Scheduler.
-func (p *PIM) Tick(_ uint64, b Board) Matching {
-	n := b.N()
-	m := NewMatching(n)
-	outLoad := make([]int, n)
+func (p *PIM) Tick(slot uint64, b Board) Matching {
+	m := NewMatching(p.n)
+	p.TickInto(slot, b, &m)
+	return m
+}
+
+// TickInto implements Scheduler.
+//
+//osmosis:hotpath
+func (p *PIM) TickInto(_ uint64, b Board, m *Matching) {
+	n := p.n
+	m.ensure(n)
+	m.Reset()
+	p.sc.snapshot(b)
+	clearRow(p.unmatched)
+	for in := 0; in < n; in++ {
+		setBit(p.unmatched, in)
+		p.outLoad[in] = 0
+		p.outCap[in] = b.ReceiversAt(in)
+	}
 	for it := 0; it < p.iters; it++ {
 		// Grant: each output with live capacity picks random requesters.
-		grants := make([][]int, n)
+		for i := range p.grants {
+			p.grants[i] = p.grants[i][:0]
+		}
 		granted := false
 		for out := 0; out < n; out++ {
-			capacity := b.ReceiversAt(out) - outLoad[out]
+			capacity := p.outCap[out] - p.outLoad[out]
 			if capacity <= 0 {
 				continue
 			}
-			var requesters []int
-			for in := 0; in < n; in++ {
-				if m.Out[in] < 0 && b.Demand(in, out) > 0 {
-					requesters = append(requesters, in)
-				}
+			requesters := p.requesters[:0]
+			col := p.sc.row(p.sc.reqCol, out)
+			for w := range p.cand {
+				p.cand[w] = col[w] & p.unmatched[w]
+			}
+			for in := nextSetBit(p.cand, n, 0); in >= 0; in = nextSetBit(p.cand, n, in+1) {
+				//lint:ignore hotpath append into a retained scratch slice pre-sized to N; cap-stable, amortized alloc-free
+				requesters = append(requesters, in)
 			}
 			for c := 0; c < capacity && len(requesters) > 0; c++ {
 				k := p.rng.Intn(len(requesters))
 				in := requesters[k]
+				//lint:ignore hotpath in-place element removal on the retained scratch slice; never grows
 				requesters = append(requesters[:k], requesters[k+1:]...)
-				grants[in] = append(grants[in], out)
+				//lint:ignore hotpath append into a retained per-input grant row; rows are length-reset and cap-stable after warm-up
+				p.grants[in] = append(p.grants[in], out)
 				granted = true
 			}
 		}
@@ -65,14 +118,15 @@ func (p *PIM) Tick(_ uint64, b Board) Matching {
 		// Accept: each input picks a random grant.
 		accepted := false
 		for in := 0; in < n; in++ {
-			gs := grants[in]
+			gs := p.grants[in]
 			if len(gs) == 0 || m.Out[in] >= 0 {
 				continue
 			}
 			// Filter grants whose output filled up this iteration.
-			var avail []int
+			avail := p.avail[:0]
 			for _, out := range gs {
-				if outLoad[out] < b.ReceiversAt(out) {
+				if p.outLoad[out] < p.outCap[out] {
+					//lint:ignore hotpath append into a retained scratch slice pre-sized to N; cap-stable, amortized alloc-free
 					avail = append(avail, out)
 				}
 			}
@@ -81,14 +135,14 @@ func (p *PIM) Tick(_ uint64, b Board) Matching {
 			}
 			out := avail[p.rng.Intn(len(avail))]
 			m.Out[in] = out
-			outLoad[out]++
+			clearBit(p.unmatched, in)
+			p.outLoad[out]++
 			accepted = true
 		}
 		if !accepted {
 			break
 		}
 	}
-	return m
 }
 
 // SelfCommits implements Scheduler.

@@ -15,13 +15,18 @@ package sched
 // time keeps matchings computed in the intervening cycles from claiming
 // the same cells, exactly like the request-counter bookkeeping in the
 // hardware scheduler.
+//
+// The delay line is a fixed ring of depth matchings reused in place: a
+// matching computed at tick t lands in slot (t+depth-1) mod depth and
+// is issued when the ring position returns to it, so the steady-state
+// tick allocates nothing.
 type PipelinedISLIP struct {
 	n, depth, iters int
 	grantPtr        []int
 	acceptPtr       []int
-	// delay[0] is issued this cycle; a freshly computed matching is
-	// appended at the back.
-	delay []Matching
+	delay           []Matching
+	pos             uint64
+	sc              *arbScratch
 }
 
 // NewPipelinedISLIP returns an n-port pipelined iSLIP whose grants lag
@@ -32,7 +37,13 @@ func NewPipelinedISLIP(n, depth int) *PipelinedISLIP {
 		depth = Log2Ceil(n)
 	}
 	s := &PipelinedISLIP{n: n, depth: depth, iters: depth}
-	s.Reset()
+	s.grantPtr = make([]int, n)
+	s.acceptPtr = make([]int, n)
+	s.delay = make([]Matching, depth)
+	for i := range s.delay {
+		s.delay[i] = NewMatching(n)
+	}
+	s.sc = newArbScratch(n)
 	return s
 }
 
@@ -43,31 +54,44 @@ func (s *PipelinedISLIP) Name() string { return "pipelined-islip" }
 // pipeline depth.
 func (s *PipelinedISLIP) GrantLatency() int { return s.depth }
 
-// Reset implements Scheduler.
+// Reset implements Scheduler. Pointers and the delay ring are zeroed in
+// place; nothing is reallocated.
 func (s *PipelinedISLIP) Reset() {
-	s.grantPtr = make([]int, s.n)
-	s.acceptPtr = make([]int, s.n)
-	s.delay = make([]Matching, 0, s.depth)
-	for i := 0; i < s.depth-1; i++ {
-		s.delay = append(s.delay, NewMatching(s.n))
+	clear(s.grantPtr)
+	clear(s.acceptPtr)
+	for i := range s.delay {
+		s.delay[i].Reset()
 	}
+	s.pos = 0
 }
 
 // Tick implements Scheduler.
-func (s *PipelinedISLIP) Tick(_ uint64, b Board) Matching {
+func (s *PipelinedISLIP) Tick(slot uint64, b Board) Matching {
+	m := NewMatching(s.n)
+	s.TickInto(slot, b, &m)
+	return m
+}
+
+// TickInto implements Scheduler.
+//
+//osmosis:hotpath
+func (s *PipelinedISLIP) TickInto(_ uint64, b Board, m *Matching) {
 	// Start this cycle's matching from current (uncommitted) demand and
 	// commit every edge: the grant is now promised for depth-1 cycles on.
-	m := NewMatching(s.n)
-	iterate(b, &m, s.grantPtr, s.acceptPtr, s.iters, nil)
-	for in, out := range m.Out {
+	d := uint64(s.depth)
+	w := &s.delay[(s.pos+d-1)%d]
+	w.Reset()
+	s.sc.snapshot(b)
+	s.sc.iterate(b, w, s.grantPtr, s.acceptPtr, s.iters)
+	for in, out := range w.Out {
 		if out >= 0 {
 			b.Commit(in, out)
 		}
 	}
-	s.delay = append(s.delay, m)
-	issued := s.delay[0]
-	s.delay = s.delay[1:]
-	return issued
+	issued := &s.delay[s.pos%d]
+	m.ensure(s.n)
+	copy(m.Out, issued.Out)
+	s.pos++
 }
 
 // SelfCommits implements Scheduler: Tick commits every promised edge.

@@ -48,10 +48,26 @@ type Matching struct {
 // NewMatching returns an empty matching over n inputs.
 func NewMatching(n int) Matching {
 	m := Matching{Out: make([]int, n)}
+	m.Reset()
+	return m
+}
+
+// Reset clears the matching in place to the all-unmatched state so the
+// same backing slice serves the next cycle without reallocating.
+func (m *Matching) Reset() {
 	for i := range m.Out {
 		m.Out[i] = -1
 	}
-	return m
+}
+
+// ensure resizes m.Out to n inputs, reallocating only when the caller's
+// matching is too small; the contents are unspecified afterwards.
+func (m *Matching) ensure(n int) {
+	if cap(m.Out) < n {
+		m.Out = make([]int, n)
+		return
+	}
+	m.Out = m.Out[:n]
 }
 
 // Size reports the number of matched inputs.
@@ -67,7 +83,16 @@ func (m Matching) Size() int {
 
 // OutputLoad reports how many inputs were matched to each output.
 func (m Matching) OutputLoad(n int) []int {
-	load := make([]int, n)
+	return m.OutputLoadInto(make([]int, n))
+}
+
+// OutputLoadInto fills the caller-owned load slice (one entry per
+// output, zeroed here) with how many inputs were matched to each output
+// and returns it — the allocation-free form of OutputLoad.
+func (m Matching) OutputLoadInto(load []int) []int {
+	for i := range load {
+		load[i] = 0
+	}
 	for _, o := range m.Out {
 		if o >= 0 {
 			load[o]++
@@ -102,8 +127,15 @@ type Scheduler interface {
 	// the pipelined prior art).
 	GrantLatency() int
 	// Tick performs one cycle of arbitration work and returns the
-	// matching to execute this cycle.
+	// matching to execute this cycle. It allocates a fresh Matching per
+	// call; hot paths use TickInto.
 	Tick(slot uint64, b Board) Matching
+	// TickInto is the allocation-free form of Tick: the matching to
+	// execute this cycle is written into the caller-owned m (resized if
+	// needed, then overwritten). Steady-state TickInto performs zero
+	// heap allocations for every scheduler in this package; m is valid
+	// until the caller's next TickInto call.
+	TickInto(slot uint64, b Board, m *Matching)
 	// SelfCommits reports whether Tick already calls Board.Commit for
 	// every edge it promises (pipelined schedulers). When false and the
 	// switch delays matchings (control-RTT modelling), the switch engine

@@ -137,6 +137,18 @@ func (s *LatencySample) Add(t units.Time) {
 	s.run.Add(float64(t))
 }
 
+// Grow pre-sizes the sample buffer for at least n additional
+// observations, so a measurement window of known length can reserve its
+// capacity up front instead of growing the buffer mid-run.
+func (s *LatencySample) Grow(n int) {
+	if n <= 0 || cap(s.samples)-len(s.samples) >= n {
+		return
+	}
+	grown := make([]units.Time, len(s.samples), len(s.samples)+n)
+	copy(grown, s.samples)
+	s.samples = grown
+}
+
 // N reports the number of observations.
 func (s *LatencySample) N() int { return len(s.samples) }
 
