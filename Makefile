@@ -19,15 +19,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The wall-clock line keeps the linter's cost honest: the whole-module
+# interprocedural pass (load, type-check, call graph, propagation, all
+# analyzers) runs on every verify, so a regression here slows every PR.
 lint:
-	$(GO) run ./cmd/osmosislint ./...
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/osmosislint ./... || exit $$?; \
+	end=$$(date +%s); \
+	echo "lint: whole-module interprocedural pass took $$((end-start))s wall clock"
 
-# Hot-path microbenchmarks (scheduler TickInto, crossbar Step). CI runs
-# these with -benchtime 1x as a smoke test; run locally without BENCHTIME
-# for real numbers (see BENCH_sched.json for the tracked baseline).
+# Hot-path microbenchmarks (scheduler TickInto, crossbar Step) plus the
+# linter's own full-tree pass. CI runs these with -benchtime 1x as a
+# smoke test; run locally without BENCHTIME for real numbers (see
+# BENCH_sched.json for the tracked baseline).
 BENCHTIME ?=
 bench:
-	$(GO) test -run '^$$' -bench . $(if $(BENCHTIME),-benchtime $(BENCHTIME)) -benchmem ./internal/sched/ ./internal/crossbar/
+	$(GO) test -run '^$$' -bench . $(if $(BENCHTIME),-benchtime $(BENCHTIME)) -benchmem ./internal/sched/ ./internal/crossbar/ ./internal/analysis/
 
 verify: build vet test lint
 	@echo "verify: OK"

@@ -2,23 +2,35 @@
 // domain-specific analyzers that machine-check the simulator's core
 // promises: bit-reproducible discrete-event runs (determinism), exact
 // picosecond accounting through units.Time (unitsafety), library code
-// that reports failures as errors rather than panics (panicfree), and
-// no silently dropped error values (errcheck).
+// that reports failures as errors rather than panics (panicfree), no
+// silently dropped error values (errcheck), allocation-free inner loops
+// (hotpath), and shard-partitionable state isolation (shardsafe).
 //
 // The framework deliberately avoids golang.org/x/tools: packages are
 // loaded with go/parser, type-checked with go/types, and stdlib
 // dependencies are resolved by the go/importer source importer, so the
 // linter builds with nothing beyond the standard library.
 //
+// Analyzers run over a Program — every loaded package analyzed as one
+// unit. The Program carries a module-wide call graph (callgraph.go) and
+// per-function facts propagated to a fixpoint over it (propagate.go),
+// which is what makes determinism, hotpath, and shardsafe transitive:
+// a violation one call deep — or ten — is reported at the annotated or
+// in-scope function that reaches it, with the full call chain in the
+// diagnostic.
+//
 // Diagnostics can be suppressed at a specific site with a comment on
-// the same line or the line directly above:
+// the same line, the line directly above, or — when the finding sits
+// inside a multi-line statement — the line directly above the enclosing
+// statement:
 //
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
 // The reason is mandatory; an ignore directive without one is itself
 // reported. Suppressions are how the tree documents the few deliberate
 // exceptions (e.g. kernel invariant panics) while everything else is
-// machine-enforced.
+// machine-enforced. A suppressed finding also stops propagating: a
+// justified map range in a helper is not re-reported at its callers.
 package analysis
 
 import (
@@ -28,6 +40,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"repro/internal/parallel"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -54,6 +68,7 @@ type Pass struct {
 	// TypesInfo holds the type-checker's expression and object maps.
 	TypesInfo *types.Info
 
+	prog     *Program
 	analyzer *Analyzer
 	report   func(d Diagnostic)
 }
@@ -67,11 +82,36 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// reportChainf records an interprocedural diagnostic whose call chain is
+// carried both in the message (already formatted by the caller) and as
+// structured frames for -json consumers.
+func (p *Pass) reportChainf(pos token.Pos, chain []Frame, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
+// Frame is one hop of an interprocedural diagnostic's call chain: the
+// function and the position within it where the next call (or, in the
+// final frame, the base violation) occurs.
+type Frame struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Analyzer string
 	Position token.Position
 	Message  string
+	// Chain, when non-empty, is the call chain of an interprocedural
+	// finding: Chain[0] is the function the diagnostic is reported in and
+	// the last frame holds the base violation.
+	Chain []Frame
 }
 
 // String formats the diagnostic as path:line:col: analyzer: message.
@@ -82,7 +122,7 @@ func (d Diagnostic) String() string {
 
 // All returns the framework's analyzers in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, UnitSafety, PanicFree, ErrCheck, HotPath}
+	return []*Analyzer{Determinism, UnitSafety, PanicFree, ErrCheck, HotPath, ShardSafe}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).
@@ -106,11 +146,75 @@ func ByName(list string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// RunAnalyzers applies each analyzer to the package and returns the
-// surviving diagnostics: suppressed findings are removed, and malformed
-// or reasonless ignore directives are reported as findings themselves.
+// RunAnalyzers applies each analyzer to the package as a single-package
+// Program and returns the surviving diagnostics: suppressed findings are
+// removed, and malformed or reasonless ignore directives are reported as
+// findings themselves. Cross-package call chains require building the
+// Program over every package instead (NewProgram + Run).
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	sup, bad := collectSuppressions(pkg.Fset, pkg.Files)
+	return NewProgram([]*Package{pkg}).Run(analyzers, 1)
+}
+
+// Program is a set of packages analyzed as one unit: the call graph and
+// the propagated facts span every package it holds, so transitive
+// analyzers see through package boundaries.
+type Program struct {
+	// Pkgs are the member packages, in the caller's order (Loader.Load
+	// returns them sorted by import path).
+	Pkgs []*Package
+
+	sup       *suppressor
+	badByPath map[string][]Diagnostic
+	graph     *callGraph
+	baseFacts [numFactKinds]map[*cgNode][]baseFact
+	facts     [numFactKinds]map[*cgNode]*factInfo
+	// writers records, per package-level variable, the names of the
+	// functions that write it — before suppression filtering, so the
+	// shared-state inventory reflects reality rather than annotations.
+	writers map[*types.Var]map[string]bool
+}
+
+// NewProgram builds the call graph over pkgs, collects per-function base
+// facts for every fact kind, and propagates them to a fixpoint. The
+// result is immutable and safe for concurrent Run calls.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:    pkgs,
+		writers: map[*types.Var]map[string]bool{},
+	}
+	p.sup, p.badByPath = newSuppressor(pkgs)
+	p.graph = buildCallGraph(pkgs)
+	p.collectBaseFacts()
+	p.facts[factNondet] = propagate(p.graph, p.baseFacts[factNondet], func(n *cgNode) bool {
+		return !inScope(n.pkg.Path, determinismScope)
+	})
+	p.facts[factAlloc] = propagate(p.graph, p.baseFacts[factAlloc], func(n *cgNode) bool {
+		return !n.hotpath
+	})
+	p.facts[factGlobalWrite] = propagate(p.graph, p.baseFacts[factGlobalWrite], func(n *cgNode) bool {
+		return !n.shardsafe
+	})
+	return p
+}
+
+// Run applies the analyzers to every package of the program, fanning the
+// per-package passes out over the worker pool (workers <= 0 selects
+// GOMAXPROCS; the propagated facts are read-only by then). Output is
+// sorted and byte-identical at any parallelism.
+func (p *Program) Run(analyzers []*Analyzer, workers int) []Diagnostic {
+	per := parallel.Map(len(p.Pkgs), workers, func(i int) []Diagnostic {
+		return p.runPackage(p.Pkgs[i], analyzers)
+	})
+	var diags []Diagnostic
+	for _, d := range per {
+		diags = append(diags, d...)
+	}
+	Sort(diags)
+	return diags
+}
+
+// runPackage applies the analyzers to one member package.
+func (p *Program) runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -119,16 +223,17 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			prog:      p,
 			analyzer:  a,
 			report: func(d Diagnostic) {
-				if !sup.suppresses(d) {
+				if !p.sup.suppresses(d) {
 					diags = append(diags, d)
 				}
 			},
 		}
 		a.Run(pass)
 	}
-	diags = append(diags, bad...)
+	diags = append(diags, p.badByPath[pkg.Path]...)
 	Sort(diags)
 	return diags
 }
@@ -163,60 +268,124 @@ type suppressionKey struct {
 	analyzer string
 }
 
-type suppressions map[suppressionKey]bool
+// suppressor resolves whether a diagnostic is covered by an ignore
+// directive. Beyond the same-line and line-above rules, it knows the
+// extent of every multi-line statement (and package-level value spec),
+// so a directive above a statement suppresses a finding anywhere inside
+// it — an offending call pushed to a continuation line by gofmt cannot
+// silently escape its suppression.
+type suppressor struct {
+	sup map[suppressionKey]bool
+	// stmtStart maps file -> line -> first line of the innermost
+	// multi-line statement covering that line.
+	stmtStart map[string]map[int]int
+}
 
 // suppresses reports whether d is covered by an ignore directive on the
-// same line or the line directly above it.
-func (s suppressions) suppresses(d Diagnostic) bool {
+// same line, the line directly above it, or the line directly above the
+// innermost enclosing multi-line statement.
+func (s *suppressor) suppresses(d Diagnostic) bool {
+	key := suppressionKey{file: d.Position.Filename, analyzer: d.Analyzer}
 	for _, line := range []int{d.Position.Line, d.Position.Line - 1} {
-		if s[suppressionKey{d.Position.Filename, line, d.Analyzer}] {
+		key.line = line
+		if s.sup[key] {
 			return true
+		}
+	}
+	if start := s.stmtStart[d.Position.Filename][d.Position.Line]; start > 0 && start != d.Position.Line {
+		for _, line := range []int{start, start - 1} {
+			key.line = line
+			if s.sup[key] {
+				return true
+			}
 		}
 	}
 	return false
 }
 
-// collectSuppressions scans every comment for ignore directives. A
-// directive names one or more analyzers and must carry a reason;
-// malformed directives come back as diagnostics so typos cannot
+// suppressesAt reports whether a finding of the named analyzer at pos
+// would be suppressed; propagation uses it to drop justified base facts
+// before they reach any caller.
+func (s *suppressor) suppressesAt(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	return s.suppresses(Diagnostic{Analyzer: analyzer, Position: fset.Position(pos)})
+}
+
+// newSuppressor scans every comment of every package for ignore
+// directives and records multi-line statement extents. A directive names
+// one or more analyzers and must carry a reason; malformed directives
+// come back as diagnostics keyed by package path so typos cannot
 // silently disable a check.
-func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
-	sup := suppressions{}
-	var bad []Diagnostic
+func newSuppressor(pkgs []*Package) (*suppressor, map[string][]Diagnostic) {
+	s := &suppressor{
+		sup:       map[suppressionKey]bool{},
+		stmtStart: map[string]map[int]int{},
+	}
+	bad := map[string][]Diagnostic{}
 	known := map[string]bool{}
 	for _, a := range All() {
 		known[a.Name] = true
 	}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignoreDirective) {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				rest := strings.TrimPrefix(c.Text, ignoreDirective)
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					bad = append(bad, Diagnostic{
-						Analyzer: "lintdirective",
-						Position: pos,
-						Message:  "malformed ignore: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
-					})
-					continue
-				}
-				for _, name := range strings.Split(fields[0], ",") {
-					if !known[name] {
-						bad = append(bad, Diagnostic{
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			s.recordStmtExtents(pkg.Fset, f)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignoreDirective) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, ignoreDirective)
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad[pkg.Path] = append(bad[pkg.Path], Diagnostic{
 							Analyzer: "lintdirective",
 							Position: pos,
-							Message:  fmt.Sprintf("ignore names unknown analyzer %q", name),
+							Message:  "malformed ignore: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
 						})
 						continue
 					}
-					sup[suppressionKey{pos.Filename, pos.Line, name}] = true
+					for _, name := range strings.Split(fields[0], ",") {
+						if !known[name] {
+							bad[pkg.Path] = append(bad[pkg.Path], Diagnostic{
+								Analyzer: "lintdirective",
+								Position: pos,
+								Message:  fmt.Sprintf("ignore names unknown analyzer %q", name),
+							})
+							continue
+						}
+						s.sup[suppressionKey{pos.Filename, pos.Line, name}] = true
+					}
 				}
 			}
 		}
 	}
-	return sup, bad
+	return s, bad
+}
+
+// recordStmtExtents maps every line of every statement (and
+// package-level value spec) to the start line of the innermost statement
+// covering it. Inspect visits parents before children, so nested
+// statements override the spans of their containers — a directive above
+// an if statement covers a finding in its multi-line condition but never
+// reaches into the body, whose statements carry their own start lines.
+func (s *suppressor) recordStmtExtents(fset *token.FileSet, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, *ast.ValueSpec:
+		default:
+			return true
+		}
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		file := fset.Position(n.Pos()).Filename
+		m := s.stmtStart[file]
+		if m == nil {
+			m = map[int]int{}
+			s.stmtStart[file] = m
+		}
+		for line := start; line <= end; line++ {
+			m[line] = start
+		}
+		return true
+	})
 }

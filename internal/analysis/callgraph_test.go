@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadGraphFixture type-checks testdata/callgraph under pkgPath and
+// builds the program over it.
+func loadGraphFixture(t *testing.T, pkgPath string) *Program {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join("testdata", "callgraph")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := loader.ParseFile(filepath.Join(root, e.Name()), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := loader.CheckSource(pkgPath, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewProgram([]*Package{pkg})
+}
+
+// node looks a fixture function up by its short name.
+func (p *Program) node(t *testing.T, name string) *cgNode {
+	t.Helper()
+	for _, n := range p.graph.list {
+		if strings.TrimPrefix(nodeName(n), "fixture.") == name {
+			return n
+		}
+	}
+	t.Fatalf("no graph node named %s; have %v", name, len(p.graph.list))
+	return nil
+}
+
+// TestCallGraphShape asserts the exact callee sets the builder derives
+// from the fixture: diamond static calls, method values, conservative
+// interface dispatch, and both recursion shapes.
+func TestCallGraphShape(t *testing.T) {
+	prog := loadGraphFixture(t, "repro/internal/optics/fixture")
+	want := map[string][]string{
+		"top":         {"left", "right"},
+		"left":        {"bottom"},
+		"right":       {"bottom"},
+		"bottom":      {}, // time.Now is outside the program
+		"obj.m":       {"bottom"},
+		"methodValue": {"obj.m"},
+		"dirty.do":    {"bottom"},
+		"clean.do":    {},
+		"dispatch":    {"clean.do", "dirty.do"},
+		"recur":       {"bottom", "recur"},
+		"ping":        {"pong"},
+		"pong":        {"bottom", "ping"},
+		"pure":        {},
+	}
+	for name, wantCallees := range want {
+		n := prog.node(t, name)
+		got := []string{}
+		for _, e := range n.callees {
+			got = append(got, strings.TrimPrefix(nodeName(e.callee), "fixture."))
+		}
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, wantCallees) {
+			t.Errorf("callees(%s) = %v, want %v", name, got, wantCallees)
+		}
+	}
+	// Interface-dispatch edges carry the interface method; static edges
+	// do not.
+	for _, e := range prog.node(t, "dispatch").callees {
+		if e.iface == nil {
+			t.Errorf("dispatch edge to %s lacks iface marker", nodeName(e.callee))
+		}
+	}
+	for _, e := range prog.node(t, "top").callees {
+		if e.iface != nil {
+			t.Errorf("static edge to %s wrongly marked as dispatch", nodeName(e.callee))
+		}
+	}
+}
+
+// TestFactPropagation asserts the exact set of functions that reach the
+// fixture's one nondeterminism base fact, and the witness chains. The
+// fixture is checked under an unscoped path so every node transmits.
+func TestFactPropagation(t *testing.T) {
+	prog := loadGraphFixture(t, "repro/internal/optics/fixture")
+	facts := prog.facts[factNondet]
+	got := []string{}
+	for _, n := range prog.graph.list {
+		if facts[n] != nil {
+			got = append(got, strings.TrimPrefix(nodeName(n), "fixture."))
+		}
+	}
+	sort.Strings(got)
+	want := []string{
+		"bottom", "dirty.do", "dispatch", "left", "methodValue",
+		"obj.m", "ping", "pong", "recur", "right", "top",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("nondet fact set = %v, want %v", got, want)
+	}
+
+	// Witness chains are shortest and deterministic.
+	chains := map[string]string{
+		"top":      "fixture.top → fixture.left → fixture.bottom",
+		"ping":     "fixture.ping → fixture.pong → fixture.bottom",
+		"recur":    "fixture.recur → fixture.bottom",
+		"dispatch": "fixture.dispatch → fixture.dirty.do → fixture.bottom",
+		"bottom":   "fixture.bottom",
+	}
+	for name, wantText := range chains {
+		frames, text, base := prog.chain(factNondet, prog.node(t, name))
+		if text != wantText {
+			t.Errorf("chain(%s) = %q, want %q", name, text, wantText)
+		}
+		if base == nil || !strings.Contains(base.msg, "time.Now") {
+			t.Errorf("chain(%s) base = %+v, want time.Now fact", name, base)
+		}
+		if len(frames) != strings.Count(wantText, "→")+1 {
+			t.Errorf("chain(%s) has %d frames for text %q", name, len(frames), wantText)
+		}
+	}
+	if fi := facts[prog.node(t, "dispatch")]; fi == nil || fi.via == nil || fi.via.iface == nil {
+		t.Error("dispatch should hold its fact via an interface-dispatch edge")
+	}
+
+	// The clean nodes must end propagation fact-free.
+	for _, name := range []string{"pure", "clean.do"} {
+		if facts[prog.node(t, name)] != nil {
+			t.Errorf("%s wrongly acquired the nondet fact", name)
+		}
+	}
+}
+
+// TestScopedPropagationStopsAtCheckedFrames re-checks the same fixture
+// under a determinism-scoped path: in-scope functions report their own
+// bodies and do not transmit, so only the origin holds a fact and every
+// caller stays chain-free — the single-report guarantee.
+func TestScopedPropagationStopsAtCheckedFrames(t *testing.T) {
+	prog := loadGraphFixture(t, "repro/internal/sim/fixture")
+	facts := prog.facts[factNondet]
+	for _, n := range prog.graph.list {
+		fi := facts[n]
+		if fi == nil {
+			continue
+		}
+		if name := strings.TrimPrefix(nodeName(n), "fixture."); name != "bottom" || fi.base == nil {
+			t.Errorf("in-scope propagation leaked: %s holds %+v", name, fi)
+		}
+	}
+}

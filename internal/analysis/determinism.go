@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -38,10 +39,27 @@ var randConstructors = map[string]bool{
 // global math/rand source, and ranging over maps (whose iteration order
 // varies run to run). Map iteration must go through sorted keys; random
 // draws must come from an explicitly seeded source (internal/sim.RNG).
+//
+// The check is interprocedural: an in-scope function that reaches a
+// violation through any call chain — a helper in an unscoped package, a
+// callee of a callee, a conservative interface-dispatch candidate — is
+// flagged at the first call of the chain, with the chain in the
+// diagnostic. Violations inside the scoped packages themselves are
+// reported directly at the offending site, exactly once.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "flag wall-clock reads, global math/rand, and map iteration in simulation-ordering code",
+	Doc:  "flag wall-clock reads, global math/rand, and map iteration reachable from simulation-ordering code",
 	Run:  runDeterminism,
+}
+
+// DeterminismIntra is the pre-call-graph, single-function half of
+// Determinism: it sees only a function's own body, never its callees.
+// Retained so tests can prove exactly what transitivity adds (and as a
+// fast mode for editors); not part of All().
+var DeterminismIntra = &Analyzer{
+	Name: "determinism",
+	Doc:  "intra-procedural determinism check (no call-chain analysis)",
+	Run:  runDeterminismDirect,
 }
 
 // inScope reports whether pkgPath falls under one of the subtrees.
@@ -70,60 +88,107 @@ func isSimFunc(pass *Pass, fun ast.Expr, name string) bool {
 	return path == "internal/sim" || strings.HasSuffix(path, "/internal/sim")
 }
 
-func runDeterminism(pass *Pass) {
+// scanNondet reports every direct determinism violation under root: the
+// shared detector behind both the in-scope site diagnostics and the
+// base facts the propagator spreads to callers.
+func scanNondet(info *types.Info, root ast.Node, report func(pos token.Pos, msg string)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj := info.Uses[n.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Now" {
+					report(n.Pos(),
+						"time.Now reads the wall clock; simulation time must come from the kernel (units.Time)")
+				}
+			case "math/rand", "math/rand/v2":
+				// Methods on an explicitly constructed source
+				// (*rand.Rand) are fine; only the implicitly seeded
+				// package-level functions are flagged.
+				fn, isFunc := obj.(*types.Func)
+				if isFunc && fn.Type().(*types.Signature).Recv() == nil &&
+					!randConstructors[obj.Name()] {
+					report(n.Pos(),
+						"global math/rand ("+obj.Pkg().Name()+"."+obj.Name()+") is not reproducibly seeded; use an explicitly seeded source (internal/sim RNG)")
+				}
+			}
+		case *ast.RangeStmt:
+			t := info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				report(n.Pos(),
+					"range over map ("+t.String()+") has nondeterministic iteration order; iterate over sorted keys")
+			}
+		}
+		return true
+	})
+}
+
+// runDeterminismDirect reports violations at their own site inside the
+// scoped packages, plus the fault-seed construction rule.
+func runDeterminismDirect(pass *Pass) {
 	if !inScope(pass.PkgPath, determinismScope) {
 		return
 	}
-	checkFaultSeeds := inScope(pass.PkgPath, faultSeedScope)
+	for _, f := range pass.Files {
+		scanNondet(pass.TypesInfo, f, func(pos token.Pos, msg string) {
+			pass.Reportf(pos, "%s", msg)
+		})
+	}
+	if !inScope(pass.PkgPath, faultSeedScope) {
+		return
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				if !checkFaultSeeds || !isSimFunc(pass, n.Fun, "NewRNG") {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSimFunc(pass, call.Fun, "NewRNG") {
+				return true
+			}
+			if len(call.Args) == 1 {
+				if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok &&
+					isSimFunc(pass, inner.Fun, "DeriveSeed") {
 					return true
-				}
-				if len(n.Args) == 1 {
-					if call, ok := ast.Unparen(n.Args[0]).(*ast.CallExpr); ok &&
-						isSimFunc(pass, call.Fun, "DeriveSeed") {
-						return true
-					}
-				}
-				pass.Reportf(n.Pos(),
-					"fault-schedule RNGs must be seeded with a sim.DeriveSeed(...) call so fault draws stay on a stream disjoint from traffic")
-			case *ast.SelectorExpr:
-				obj := pass.TypesInfo.Uses[n.Sel]
-				if obj == nil || obj.Pkg() == nil {
-					return true
-				}
-				switch obj.Pkg().Path() {
-				case "time":
-					if obj.Name() == "Now" {
-						pass.Reportf(n.Pos(),
-							"time.Now reads the wall clock; simulation time must come from the kernel (units.Time)")
-					}
-				case "math/rand", "math/rand/v2":
-					// Methods on an explicitly constructed source
-					// (*rand.Rand) are fine; only the implicitly seeded
-					// package-level functions are flagged.
-					fn, isFunc := obj.(*types.Func)
-					if isFunc && fn.Type().(*types.Signature).Recv() == nil &&
-						!randConstructors[obj.Name()] {
-						pass.Reportf(n.Pos(),
-							"global math/rand (%s.%s) is not reproducibly seeded; use an explicitly seeded source (internal/sim RNG)",
-							obj.Pkg().Name(), obj.Name())
-					}
-				}
-			case *ast.RangeStmt:
-				t := pass.TypesInfo.TypeOf(n.X)
-				if t == nil {
-					return true
-				}
-				if _, isMap := t.Underlying().(*types.Map); isMap {
-					pass.Reportf(n.Pos(),
-						"range over map (%s) has nondeterministic iteration order; iterate over sorted keys", t)
 				}
 			}
+			pass.Reportf(call.Pos(),
+				"fault-schedule RNGs must be seeded with a sim.DeriveSeed(...) call so fault draws stay on a stream disjoint from traffic")
 			return true
 		})
+	}
+}
+
+func runDeterminism(pass *Pass) {
+	runDeterminismDirect(pass)
+	if pass.prog == nil || !inScope(pass.PkgPath, determinismScope) {
+		return
+	}
+	// Transitive half: an in-scope function that inherited the fact
+	// through a call edge is flagged at that edge. Functions whose own
+	// body violates (fi.base != nil) were already reported above, and
+	// in-scope callees do not transmit (they report themselves), so each
+	// chain surfaces exactly once, at the deepest in-scope frame.
+	facts := pass.prog.facts[factNondet]
+	for _, n := range pass.prog.pkgNodes(pass.PkgPath) {
+		fi := facts[n]
+		if fi == nil || fi.via == nil {
+			continue
+		}
+		frames, text, base := pass.prog.chain(factNondet, n)
+		if base == nil {
+			continue
+		}
+		suffix := ""
+		if fi.via.iface != nil {
+			suffix = " [via interface dispatch]"
+		}
+		pass.reportChainf(fi.via.pos, frames,
+			"call chain %s%s reaches nondeterminism at %s: %s",
+			text, suffix, shortPos(n.pkg.Fset, base.pos), base.msg)
 	}
 }

@@ -26,6 +26,7 @@ var fixtureCases = []struct {
 	{"panicfree", analysis.PanicFree, "repro/internal/fec/fixture"},
 	{"errcheck", analysis.ErrCheck, "repro/internal/link/fixture"},
 	{"hotpath", analysis.HotPath, "repro/internal/sched/fixture"},
+	{"shardsafe", analysis.ShardSafe, "repro/internal/voq/fixture"},
 }
 
 // wantRe matches expectation comments: // want:<analyzer> "substring".
@@ -209,8 +210,8 @@ func helper(s string) int {
 // TestByName resolves analyzer subsets and rejects unknown names.
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
 	}
 	two, err := analysis.ByName("determinism, errcheck")
 	if err != nil || len(two) != 2 {

@@ -40,6 +40,10 @@ type Loader struct {
 	std        types.Importer
 	cache      map[string]*Package
 	loading    map[string]bool
+	// extra holds packages registered by CheckSource under synthetic
+	// import paths, so later CheckSource calls can import them — the
+	// mechanism behind multi-package call-graph fixtures.
+	extra map[string]*types.Package
 }
 
 // NewLoader locates the enclosing module of dir (by walking up to
@@ -72,6 +76,7 @@ func NewLoader(dir string) (*Loader, error) {
 		std:        importer.ForCompiler(fset, "source", nil),
 		cache:      map[string]*Package{},
 		loading:    map[string]bool{},
+		extra:      map[string]*types.Package{},
 	}, nil
 }
 
@@ -193,6 +198,9 @@ func goSources(dir string) ([]string, error) {
 // Import implements types.Importer so module packages can depend on
 // each other; stdlib paths fall through to the source importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.extra[path]; ok {
+		return pkg, nil
+	}
 	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
 		pkg, err := l.loadDir(filepath.Join(l.moduleRoot, filepath.FromSlash(rel)))
@@ -282,9 +290,16 @@ func (l *Loader) check(path string, files []*ast.File) (*Package, error) {
 // CheckSource type-checks the given parsed files as a package with an
 // arbitrary import path. Fixture tests use this to run analyzers over
 // sources pretending to live in a scoped package such as
-// "repro/internal/sim".
+// "repro/internal/sim". The result is registered with the loader, so a
+// later CheckSource call can import it by its synthetic path — which is
+// how multi-package call-graph fixtures are assembled.
 func (l *Loader) CheckSource(path string, files []*ast.File) (*Package, error) {
-	return l.check(path, files)
+	pkg, err := l.check(path, files)
+	if err != nil {
+		return nil, err
+	}
+	l.extra[path] = pkg.Types
+	return pkg, nil
 }
 
 // ParseFile parses one file into the loader's shared FileSet.

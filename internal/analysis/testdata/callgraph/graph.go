@@ -1,0 +1,82 @@
+// Package fixture exercises every edge source of the call-graph
+// builder: static calls in a diamond, method values, conservative
+// interface dispatch, self-recursion, and mutual recursion. The
+// callgraph tests assert the exact shape and the exact propagated
+// fact sets over this package.
+package fixture
+
+import "time"
+
+// Diamond: top calls left and right; both call bottom, which holds the
+// only base nondeterminism fact of the static-call region.
+
+func top() { left(); right() }
+
+func left() { bottom() }
+
+func right() { bottom() }
+
+func bottom() int64 { return time.Now().UnixNano() }
+
+// Method value: naming o.m without calling it is a may-call edge.
+
+type obj struct{ n int }
+
+func (o obj) m() int64 { return bottom() }
+
+func methodValue() func() int64 {
+	o := obj{n: 1}
+	f := o.m
+	return f
+}
+
+// Interface dispatch: d.do() adds conservative edges to every declared
+// implementation — dirty and clean alike.
+
+type doer interface{ do() int64 }
+
+type dirty struct{}
+
+func (dirty) do() int64 { return bottom() }
+
+type clean struct{}
+
+func (clean) do() int64 { return 0 }
+
+func dispatch(d doer) int64 { return d.do() }
+
+// Self-recursion must not loop the propagator.
+
+func recur(n int) int64 {
+	if n > 0 {
+		return recur(n - 1)
+	}
+	return bottom()
+}
+
+// Mutual recursion: the fact enters the cycle through pong and reaches
+// ping around the loop.
+
+func ping(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int64 {
+	if n <= 0 {
+		return bottom()
+	}
+	return ping(n - 1)
+}
+
+// pure touches nothing nondeterministic: the one node that must end the
+// propagation with no fact.
+
+func pure(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -33,3 +33,12 @@ func sliceIteration(xs []int) int {
 	}
 	return total
 }
+
+// multiLineSuppression: the directive above a statement covers findings
+// gofmt pushed onto continuation lines of that same statement.
+func multiLineSuppression(xs []int64) int64 {
+	//lint:ignore determinism fixture-only global draw, justified to prove continuation-line suppression
+	total := int64(len(xs)) +
+		rand.Int63()
+	return total
+}

@@ -1,0 +1,50 @@
+// Package fixture seeds shardsafe violations: writes to package-level
+// state in or reachable from functions annotated //osmosis:shardsafe,
+// and argument references retained in shared state.
+package fixture
+
+var counter int
+var registry = map[string]int{}
+var lastSeen *record
+var hooks []func()
+
+type record struct {
+	id  int
+	buf []byte
+}
+
+// step writes shared state directly, three ways.
+//
+//osmosis:shardsafe
+func step(r *record) {
+	counter++               // want:shardsafe "writes package-level variable fixture.counter"
+	registry["step"] = r.id // want:shardsafe "writes package-level variable fixture.registry"
+	lastSeen = r            // want:shardsafe "stores a reference to argument r in package-level variable fixture.lastSeen"
+}
+
+// tick reaches a shared-state write two calls down; the finding lands
+// at the first call of the chain.
+//
+//osmosis:shardsafe
+func tick(n int) {
+	for i := 0; i < n; i++ {
+		bump() // want:shardsafe "reaches shared-state mutation"
+	}
+}
+
+// bump is unannotated, so it transmits its write to annotated callers.
+func bump() {
+	relay()
+}
+
+func relay() {
+	counter++
+}
+
+// capture retains a closure over its argument in shared state: both the
+// global write and the escape are one assignment.
+//
+//osmosis:shardsafe
+func capture(f func()) {
+	hooks[0] = f // want:shardsafe "stores a reference to argument f in package-level variable fixture.hooks"
+}

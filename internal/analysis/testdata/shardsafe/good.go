@@ -1,0 +1,43 @@
+package fixture
+
+// setup code without the annotation may write shared state freely:
+// construction happens before shards exist.
+func register(name string, v int) {
+	registry[name] = v
+	counter++
+}
+
+type shard struct {
+	local   map[string]int
+	scratch []int
+	last    *record
+}
+
+// advance mutates only receiver and local state — shard-local by
+// definition, the compliant shape.
+//
+//osmosis:shardsafe
+func (s *shard) advance(r *record) int {
+	s.local["advance"] = r.id
+	s.last = r
+	for i := range s.scratch {
+		s.scratch[i] = r.id
+	}
+	return len(s.local)
+}
+
+// delegate calls a clean helper: the chain carries no facts.
+//
+//osmosis:shardsafe
+func (s *shard) delegate(r *record) int {
+	return s.advance(r)
+}
+
+// valueCopy stores non-reference projections of its arguments; copies
+// cannot retain the argument, and the justified write documents itself.
+//
+//osmosis:shardsafe
+func valueCopy(r *record) {
+	//lint:ignore shardsafe single-writer statistics counter, merged after the parallel phase joins
+	counter = len(r.buf)
+}

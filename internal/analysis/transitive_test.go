@@ -1,0 +1,174 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// checkSource parses src and type-checks it under pkgPath with the
+// given loader, registering the result for later imports.
+func checkSource(t *testing.T, loader *analysis.Loader, pkgPath, filename, src string) *analysis.Package {
+	t.Helper()
+	f, err := loader.ParseFile(filename, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.CheckSource(pkgPath, []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestCrossPackageDeterminism proves exactly what the call-graph adds: a
+// scoped package calling an unscoped helper that reads the wall clock is
+// clean under the intra-procedural pass and flagged — with the full
+// chain — under the transitive one.
+func TestCrossPackageDeterminism(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	helper := checkSource(t, loader, "fixturelib/helper", "helper.go", `
+package helperlib
+
+import "time"
+
+// Stamp reads the wall clock; helperlib is outside the determinism
+// scope, so this is legal here.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Pure is a clean helper.
+func Pure(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+`)
+	scoped := checkSource(t, loader, "repro/internal/sim/fixture", "scoped.go", `
+package fixture
+
+import helper "fixturelib/helper"
+
+// Tick leaks nondeterminism through the helper call.
+func Tick() int64 { return helper.Stamp() }
+
+// Quiet stays clean through a clean helper.
+func Quiet() int { return helper.Pure(1, 2) }
+`)
+	prog := analysis.NewProgram([]*analysis.Package{helper, scoped})
+
+	// The old, intra-procedural pass sees nothing: scoped.go's own body
+	// never names time.Now.
+	if diags := prog.Run([]*analysis.Analyzer{analysis.DeterminismIntra}, 1); len(diags) != 0 {
+		t.Fatalf("intra pass should be clean, got %v", diags)
+	}
+
+	// The transitive pass flags Tick at the helper.Stamp call, carrying
+	// the chain in both text and structured frames.
+	diags := prog.Run([]*analysis.Analyzer{analysis.Determinism}, 1)
+	if len(diags) != 1 {
+		t.Fatalf("transitive pass: got %d findings %v, want 1", len(diags), diags)
+	}
+	d := diags[0]
+	for _, substr := range []string{
+		"call chain fixture.Tick → helperlib.Stamp reaches nondeterminism",
+		"time.Now reads the wall clock",
+	} {
+		if !strings.Contains(d.Message, substr) {
+			t.Errorf("message %q lacks %q", d.Message, substr)
+		}
+	}
+	if len(d.Chain) != 2 || d.Chain[0].Func != "fixture.Tick" || d.Chain[1].Func != "helperlib.Stamp" {
+		t.Errorf("chain frames = %+v, want fixture.Tick → helperlib.Stamp", d.Chain)
+	}
+	if d.Position.Filename != "scoped.go" {
+		t.Errorf("finding reported in %s, want scoped.go (the in-scope frame)", d.Position.Filename)
+	}
+}
+
+// TestCrossPackageHotPath does the same for the allocation contract: an
+// annotated function calling an allocating helper in another package is
+// clean intra-procedurally and flagged transitively.
+func TestCrossPackageHotPath(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	helper := checkSource(t, loader, "fixturelib/buf", "buf.go", `
+package buflib
+
+// Grow allocates; fine here, fatal on a hotpath.
+func Grow(n int) []byte { return make([]byte, n) }
+`)
+	hot := checkSource(t, loader, "repro/internal/sched/fixture", "hot.go", `
+package fixture
+
+import buf "fixturelib/buf"
+
+// tick is annotated allocation-free but hides an alloc behind a call.
+//
+//osmosis:hotpath
+func tick(n int) int { return len(buf.Grow(n)) }
+`)
+	prog := analysis.NewProgram([]*analysis.Package{helper, hot})
+
+	if diags := prog.Run([]*analysis.Analyzer{analysis.HotPathIntra}, 1); len(diags) != 0 {
+		t.Fatalf("intra pass should be clean, got %v", diags)
+	}
+	diags := prog.Run([]*analysis.Analyzer{analysis.HotPath}, 1)
+	if len(diags) != 1 {
+		t.Fatalf("transitive pass: got %d findings %v, want 1", len(diags), diags)
+	}
+	if msg := diags[0].Message; !strings.Contains(msg, "chain fixture.tick → buflib.Grow") ||
+		!strings.Contains(msg, "make allocates") {
+		t.Errorf("unexpected message %q", msg)
+	}
+}
+
+// TestIgnoreDirectiveMultiLineStatement is the regression test for the
+// suppression bug: an offending call gofmt pushed onto a continuation
+// line of a multi-line statement must still honor the directive above
+// the statement — and that directive must not bleed into the next
+// statement or into the bodies of nested blocks.
+func TestIgnoreDirectiveMultiLineStatement(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := checkSource(t, loader, "repro/internal/sim/fixture", "multiline.go", `package fixture
+
+import "time"
+
+func spread(xs []int64) int64 {
+	var total int64
+	//lint:ignore determinism regression fixture: wall clock on a continuation line
+	total = int64(len(xs)) +
+		time.Now().UnixNano()
+	next := time.Now().UnixNano() // line 10: the directive must not reach this statement
+	m := map[int]bool{1: true}
+	//lint:ignore determinism regression fixture: directive above a block covers its multi-line condition only
+	if total+
+		next > 0 {
+		for range m { // line 15: nested body statements carry their own extents
+		}
+	}
+	return total + next
+}
+`)
+	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{analysis.Determinism})
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, d.Position.Line)
+	}
+	// Exactly two findings survive: the unsuppressed time.Now on line 10
+	// and the map range on line 15. The continuation-line time.Now (line
+	// 9) is suppressed by the directive above its statement.
+	if len(diags) != 2 || lines[0] != 10 || lines[1] != 15 {
+		t.Fatalf("got findings at lines %v (%v), want exactly [10 15]", lines, diags)
+	}
+}

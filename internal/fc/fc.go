@@ -53,6 +53,8 @@ func (c *Credits) CanSend() bool { return c.avail > 0 }
 
 // Consume takes one credit; it returns false (and counts a shortfall)
 // when none is available.
+//
+//osmosis:shardsafe
 func (c *Credits) Consume() bool {
 	if c.avail <= 0 {
 		c.Shortfalls++
@@ -64,12 +66,16 @@ func (c *Credits) Consume() bool {
 
 // Release queues one credit for return (the downstream buffer freed a
 // slot); it becomes usable after the loop RTT.
+//
+//osmosis:shardsafe
 func (c *Credits) Release() {
 	c.returning[(c.pos+len(c.returning)-1)%len(c.returning)]++
 }
 
 // Tick advances one packet cycle, landing any credits whose return
 // delay elapsed.
+//
+//osmosis:shardsafe
 func (c *Credits) Tick() {
 	c.avail += c.returning[c.pos]
 	c.returning[c.pos] = 0

@@ -102,6 +102,7 @@ func (f *FLPPR) Tick(slot uint64, b Board) Matching {
 // edges commit, which keeps it exactly equal to the live board demand.
 //
 //osmosis:hotpath
+//osmosis:shardsafe
 func (f *FLPPR) TickInto(slot uint64, b Board, m *Matching) {
 	f.sc.snapshot(b)
 	for j := 0; j < f.k; j++ {

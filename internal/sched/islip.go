@@ -69,6 +69,7 @@ func (s *ISLIP) Tick(slot uint64, b Board) Matching {
 // TickInto implements Scheduler.
 //
 //osmosis:hotpath
+//osmosis:shardsafe
 func (s *ISLIP) TickInto(_ uint64, b Board, m *Matching) {
 	m.ensure(s.n)
 	m.Reset()

@@ -74,6 +74,7 @@ func (l *LQF) Tick(slot uint64, b Board) Matching {
 // TickInto implements Scheduler.
 //
 //osmosis:hotpath
+//osmosis:shardsafe
 func (l *LQF) TickInto(_ uint64, b Board, m *Matching) {
 	n := l.n
 	m.ensure(n)

@@ -71,6 +71,7 @@ func (p *PIM) Tick(slot uint64, b Board) Matching {
 // TickInto implements Scheduler.
 //
 //osmosis:hotpath
+//osmosis:shardsafe
 func (p *PIM) TickInto(_ uint64, b Board, m *Matching) {
 	n := p.n
 	m.ensure(n)

@@ -75,6 +75,7 @@ func (s *PipelinedISLIP) Tick(slot uint64, b Board) Matching {
 // TickInto implements Scheduler.
 //
 //osmosis:hotpath
+//osmosis:shardsafe
 func (s *PipelinedISLIP) TickInto(_ uint64, b Board, m *Matching) {
 	// Start this cycle's matching from current (uncommitted) demand and
 	// commit every edge: the grant is now promised for depth-1 cycles on.

@@ -64,6 +64,7 @@ func (m *Matching) Reset() {
 // matching is too small; the contents are unspecified afterwards.
 func (m *Matching) ensure(n int) {
 	if cap(m.Out) < n {
+		//lint:ignore hotpath reallocates only when the port count grows; steady-state cycles reuse the retained backing array
 		m.Out = make([]int, n)
 		return
 	}

@@ -132,6 +132,7 @@ type LatencySample struct {
 
 // Add records one latency observation.
 func (s *LatencySample) Add(t units.Time) {
+	//lint:ignore hotpath retaining every sample is the collector's contract (exact quantiles); Grow pre-sizes known measurement windows
 	s.samples = append(s.samples, t)
 	s.sorted = false
 	s.run.Add(float64(t))

@@ -77,6 +77,8 @@ func NewVOQSet(n int) *VOQSet {
 func (v *VOQSet) N() int { return v.n }
 
 // Push enqueues a cell toward its destination queue.
+//
+//osmosis:shardsafe
 func (v *VOQSet) Push(c *packet.Cell, out int) {
 	v.queues[classIndex(c.Class)][out].Push(c)
 	v.depth++
@@ -109,6 +111,8 @@ func (v *VOQSet) Uncommit(out int) {
 
 // Pop dequeues the next cell for out, control class first (strict
 // priority, §IV), also releasing one commitment if any.
+//
+//osmosis:shardsafe
 func (v *VOQSet) Pop(out int) *packet.Cell {
 	var c *packet.Cell
 	if v.queues[1][out].Len() > 0 {
@@ -192,6 +196,8 @@ func (e *Egress) SlotBudget() int {
 }
 
 // Receive accepts a cell from the crossbar.
+//
+//osmosis:shardsafe
 func (e *Egress) Receive(c *packet.Cell) {
 	e.q.Push(c)
 	e.received++
@@ -199,6 +205,8 @@ func (e *Egress) Receive(c *packet.Cell) {
 
 // Drain removes the cell to transmit on the output line this slot, or
 // nil when idle.
+//
+//osmosis:shardsafe
 func (e *Egress) Drain() *packet.Cell {
 	c := e.q.Pop()
 	if c != nil {
