@@ -28,13 +28,14 @@ lint:
 	end=$$(date +%s); \
 	echo "lint: whole-module interprocedural pass took $$((end-start))s wall clock"
 
-# Hot-path microbenchmarks (scheduler TickInto, crossbar Step) plus the
-# linter's own full-tree pass. CI runs these with -benchtime 1x as a
-# smoke test; run locally without BENCHTIME for real numbers (see
-# BENCH_sched.json for the tracked baseline).
+# Hot-path microbenchmarks (scheduler TickInto, crossbar Step, the
+# sharded fabric kernel at 2048 ports) plus the linter's own full-tree
+# pass. CI runs these with -benchtime 1x as a smoke test; run locally
+# without BENCHTIME for real numbers (see BENCH_sched.json and
+# BENCH_fabric.json for the tracked baselines).
 BENCHTIME ?=
 bench:
-	$(GO) test -run '^$$' -bench . $(if $(BENCHTIME),-benchtime $(BENCHTIME)) -benchmem ./internal/sched/ ./internal/crossbar/ ./internal/analysis/
+	$(GO) test -run '^$$' -bench . $(if $(BENCHTIME),-benchtime $(BENCHTIME)) -benchmem ./internal/sched/ ./internal/crossbar/ ./internal/fabric/ ./internal/analysis/
 
 verify: build vet test lint
 	@echo "verify: OK"

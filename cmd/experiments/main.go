@@ -12,8 +12,10 @@
 // Output is plain text: one aligned table per figure series plus a
 // REPRODUCED/MISMATCH verdict per headline finding. The -par worker
 // count changes only wall-clock time, never the output: experiments run
-// on an index-keyed worker pool and render in canonical order, so
-// `-par N` output is byte-identical to `-par 1` for every N.
+// on an index-keyed worker pool and render in canonical order, and
+// fabric-backed experiments additionally shard their fabrics -par ways
+// (deterministic conservative-lookahead windows), so `-par N` output is
+// byte-identical to `-par 1` for every N.
 package main
 
 import (
@@ -53,7 +55,7 @@ func main() {
 		quick = flag.Bool("quick", false, "reduced simulation windows")
 		list  = flag.Bool("list", false, "list experiment IDs and exit")
 		seed  = flag.Uint64("seed", experiments.DefaultSeed, "RNG seed (>= 1)")
-		par   = flag.Int("par", runtime.NumCPU(), "max concurrent experiments (1 = serial)")
+		par   = flag.Int("par", runtime.NumCPU(), "parallelism: concurrent experiments, and fabric shards inside fabric-backed ones (1 = serial)")
 	)
 	pf := prof.Register()
 	flag.Parse()
@@ -84,7 +86,7 @@ func main() {
 	stopProf = stop
 	defer stopProf()
 
-	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed}
+	cfg := experiments.RunConfig{Quick: *quick, Seed: *seed, Par: *par}
 	var toRun []experiments.Experiment
 	if *id != "" {
 		e, err := experiments.ByID(*id)

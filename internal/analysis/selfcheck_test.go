@@ -70,8 +70,15 @@ func TestShardSafeSeedAnnotations(t *testing.T) {
 		"fc.Credits.Consume",
 		"fc.Credits.Release",
 		"fc.Credits.Tick",
+		"fc.Credits.Land",
 		"packet.Allocator.New",
 		"packet.Allocator.Free",
+		// The sharded fabric kernel: the whole per-slot path a shard
+		// executes concurrently with its siblings must stay provably
+		// free of shared mutable state.
+		"fabric.node.push",
+		"fabric.node.arbitrate",
+		"fabric.shard.stepSlot",
 	}
 	for _, w := range want {
 		if !annotated[w] {

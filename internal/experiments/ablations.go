@@ -152,6 +152,7 @@ func runAblationCredits(cfg RunConfig) (*Result, error) {
 			NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(radix, 0) },
 			LinkDelaySlots: linkD,
 			InputCapacity:  capacity,
+			Shards:         cfg.Par,
 		})
 		if err != nil {
 			return nil, err
@@ -160,7 +161,7 @@ func runAblationCredits(cfg RunConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := f.Run(gens, warm, meas)
+		m, err := cfg.runFabric(f, gens, warm, meas)
 		if err != nil {
 			return nil, err
 		}

@@ -13,7 +13,9 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/fabric"
 	"repro/internal/stats"
+	"repro/internal/traffic"
 )
 
 // RunConfig tunes an experiment run.
@@ -26,6 +28,21 @@ type RunConfig struct {
 	// cmd/experiments -seed flag) must reject an explicit 0 rather than
 	// let it silently alias the default.
 	Seed uint64
+	// Par sets the spatial shard count for fabric-backed experiments
+	// (fig2, fig4, stages-sim, ablation-credits): the fabric's switches
+	// tick concurrently in conservative-lookahead windows. Results are
+	// byte-identical at any value; 0 or 1 runs the serial kernel.
+	Par int
+}
+
+// runFabric drives a fabric with the configured shard count: the serial
+// reference kernel at Par <= 1, RunParallel otherwise. Both paths
+// produce byte-identical metrics.
+func (c RunConfig) runFabric(f *fabric.Fabric, gens []traffic.Generator, warm, meas uint64) (*fabric.Metrics, error) {
+	if f.ShardCount() > 1 {
+		return f.RunParallel(gens, warm, meas)
+	}
+	return f.Run(gens, warm, meas)
 }
 
 // DefaultSeed is the seed a zero RunConfig runs with; every recorded

@@ -64,6 +64,7 @@ func runFig2(cfg RunConfig) (*Result, error) {
 			NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
 			LinkDelaySlots: 3,
 			EgressBuffered: egress,
+			Shards:         cfg.Par,
 		}
 		f, err := fabric.New(fcfg)
 		if err != nil {
@@ -73,7 +74,7 @@ func runFig2(cfg RunConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := f.Run(gens, warm, meas)
+		m, err := cfg.runFabric(f, gens, warm, meas)
 		if err != nil {
 			return nil, err
 		}

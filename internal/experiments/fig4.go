@@ -49,6 +49,7 @@ func runFig4(cfg RunConfig) (*Result, error) {
 			NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(radix, 0) },
 			LinkDelaySlots: linkD,
 			InputCapacity:  capacity,
+			Shards:         cfg.Par,
 		}
 		f, err := fabric.New(fcfg)
 		if err != nil {
@@ -61,7 +62,7 @@ func runFig4(cfg RunConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := f.Run(gens, warm, meas)
+		m, err := cfg.runFabric(f, gens, warm, meas)
 		if err != nil {
 			return nil, err
 		}

@@ -51,6 +51,7 @@ func runStagesSim(cfg RunConfig) (*Result, error) {
 			Receivers:      2,
 			NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(s.radix, 0) },
 			LinkDelaySlots: 2,
+			Shards:         cfg.Par,
 		})
 		if err != nil {
 			return nil, err
@@ -59,7 +60,7 @@ func runStagesSim(cfg RunConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := f.Run(gens, warm, meas)
+		m, err := cfg.runFabric(f, gens, warm, meas)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,97 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/traffic"
+)
+
+// benchFabricConfig is the BENCH_fabric.json configuration: the paper's
+// 2048-port, 3-stage flagship at 0.95 load — the run ROADMAP item 1
+// wanted off the single core.
+func benchFabricConfig(shards int) Config {
+	return Config{
+		Hosts:          2048,
+		Radix:          64,
+		Receivers:      2,
+		NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(64, 0) },
+		LinkDelaySlots: 5,
+		Shards:         shards,
+	}
+}
+
+// BenchmarkFabric2048 measures whole-fabric slots/sec at the flagship
+// scale for shard counts 1/2/4/8, sharded runs through the windowed
+// RunParallel kernel. One benchmark iteration is one slot (amortized
+// over a fixed-size run so window barriers are included at their true
+// frequency). On a multi-core host the sharded kernels multiply
+// slots/sec; on a single core they show the barrier overhead.
+func BenchmarkFabric2048(b *testing.B) {
+	const slotsPerRun = 64
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			f, err := New(benchFabricConfig(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			gens, err := traffic.Build(traffic.Config{
+				Kind: traffic.KindUniform, N: 2048, Load: 0.95, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm-up-only windows keep measurement off: the benchmark
+			// isolates the kernel from statistics retention.
+			run := func(n uint64) {
+				if f.ShardCount() > 1 {
+					if _, err := f.RunParallel(gens, n, 0); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if _, err := f.Run(gens, n, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			run(4 * slotsPerRun) // warm queues, rings, and cell pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += slotsPerRun {
+				n := slotsPerRun
+				if rest := b.N - done; rest < n {
+					n = rest
+				}
+				run(uint64(n))
+			}
+		})
+	}
+}
+
+// BenchmarkFabricStepSmall isolates the per-slot serial kernel at the
+// 32-host test scale (no sharding, no barriers): the number the
+// hot-path allocation fix moved.
+func BenchmarkFabricStepSmall(b *testing.B) {
+	f, err := New(Config{
+		Hosts: 32, Radix: 8, Receivers: 2,
+		NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
+		LinkDelaySlots: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gens, err := traffic.Build(traffic.Config{Kind: traffic.KindUniform, N: 32, Load: 0.9, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.Run(gens, 512, 0); err != nil { // steady state, measurement off
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Run(gens, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

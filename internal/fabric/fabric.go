@@ -38,6 +38,13 @@ type Config struct {
 	// Format supplies timing for metric scaling; zero value selects the
 	// OSMOSIS demonstrator format.
 	Format packet.Format
+	// Shards partitions the switch nodes into contiguous groups that
+	// tick concurrently (RunParallel); Step and Run also arbitrate the
+	// groups in parallel, synchronizing every slot. 0 or 1 selects the
+	// serial single-shard kernel. Output is byte-identical at any shard
+	// count — the partition changes wall-clock time, never results.
+	// Values above the switch count are clamped.
+	Shards int
 }
 
 // Metrics collects fabric-level measurements.
@@ -96,27 +103,47 @@ type creditReturn struct {
 }
 
 // Fabric is a runnable multistage fabric instance.
+//
+// The engine is spatially partitioned: every switch node belongs to
+// exactly one shard (a contiguous run of Net.NodeIDs()), and each shard
+// owns its nodes' VOQ, credit, and egress state plus private
+// inflight/credit-return rings. Cells and credits crossing a shard
+// boundary travel through per-(source, destination)-shard mailboxes
+// that are exchanged at deterministic barriers; delivered cells are fed
+// to the coordinator's metrics in global (slot, host) order. The result
+// is byte-identical at any shard count.
 type Fabric struct {
 	cfg Config
 	net Net
 
 	nodes   []*node
 	nodeIdx map[NodeID]int
+	// nodeShard[i] is the index of the shard owning node i.
+	nodeShard []int
+	// hostNode[h]/hostPort[h] locate host h's leaf attachment.
+	hostNode []int
+	hostPort []int
+
+	shards []*shard
+	// ringLen sizes every shard's inflight and credit rings: an event
+	// emitted in a lookahead window can land up to
+	// 2*LinkDelaySlots + 1 slots past the window start.
+	ringLen int
 
 	// hostEgress[h] is the egress adapter of host h.
 	hostEgress []*voq.Egress
-
-	// inflight[slot % len] holds link deliveries landing that slot.
-	inflight [][]delivery
-	// creditWire[slot % len] holds credit returns landing that slot.
-	creditWire [][]creditReturn
 
 	alloc *packet.Allocator
 	order *packet.OrderChecker
 
 	slot      uint64
 	measuring bool
-	metrics   Metrics
+	// measureFrom extends the measuring flag with a slot threshold so a
+	// windowed parallel run can cross the warm-up boundary mid-window.
+	measureSet    bool
+	measureFrom   uint64
+	injectOffered uint64
+	metrics       Metrics
 }
 
 // New builds a fabric, applying defaults.
@@ -165,12 +192,8 @@ func New(cfg Config) (*Fabric, error) {
 	f.metrics.CycleTime = cfg.Format.CycleTime()
 	f.metrics.HopHistogram = make(map[int]uint64)
 
-	creditDelay := cfg.LinkDelaySlots
-	if creditDelay < 1 {
-		creditDelay = 1
-	}
 	for _, id := range f.net.NodeIDs() {
-		n, err := newNode(id, f.net, cfg.NewScheduler, cfg.Receivers, cfg.InputCapacity, cfg.EgressBuffered, creditDelay)
+		n, err := newNode(id, f.net, cfg.NewScheduler, cfg.Receivers, cfg.InputCapacity, cfg.EgressBuffered)
 		if err != nil {
 			return nil, err
 		}
@@ -182,11 +205,68 @@ func New(cfg Config) (*Fabric, error) {
 	for h := range f.hostEgress {
 		f.hostEgress[h] = voq.NewEgress(cfg.Receivers, 0)
 	}
+	f.hostNode = make([]int, cfg.Hosts)
+	f.hostPort = make([]int, cfg.Hosts)
+	for h := 0; h < cfg.Hosts; h++ {
+		leaf, port := f.net.HostLeaf(h)
+		ni, ok := f.nodeIdx[leaf]
+		if !ok {
+			return nil, fmt.Errorf("fabric: host %d attaches to unknown switch %v", h, leaf)
+		}
+		f.hostNode[h] = ni
+		f.hostPort[h] = port
+	}
 
-	ring := cfg.LinkDelaySlots + 2
-	f.inflight = make([][]delivery, ring)
-	f.creditWire = make([][]creditReturn, ring)
+	f.ringLen = 2*cfg.LinkDelaySlots + 2
+	if err := f.partition(cfg.Shards); err != nil {
+		return nil, err
+	}
 	return f, nil
+}
+
+// partition splits the switch nodes into s contiguous shards and builds
+// the per-shard rings and mailboxes.
+func (f *Fabric) partition(s int) error {
+	if s < 1 {
+		s = 1
+	}
+	if s > len(f.nodes) {
+		s = len(f.nodes)
+	}
+	f.cfg.Shards = s
+	f.nodeShard = make([]int, len(f.nodes))
+	f.shards = make([]*shard, s)
+	window := f.cfg.LinkDelaySlots + 1
+	for i := 0; i < s; i++ {
+		lo := i * len(f.nodes) / s
+		hi := (i + 1) * len(f.nodes) / s
+		for ni := lo; ni < hi; ni++ {
+			f.nodeShard[ni] = i
+		}
+		f.shards[i] = newShard(f, i, lo, hi, s, window)
+	}
+	// Host ownership follows leaf ownership; the metric merge relies on
+	// shard order being global host order, so the attachment order must
+	// be contiguous per shard (true for Topology and XGFT, whose leaves
+	// lead the node list in host order).
+	for i, sh := range f.shards {
+		sh.hostLo, sh.hostHi = -1, -1
+		for h := 0; h < f.cfg.Hosts; h++ {
+			if f.nodeShard[f.hostNode[h]] != i {
+				continue
+			}
+			if sh.hostLo < 0 {
+				sh.hostLo = h
+			} else if h != sh.hostHi {
+				return fmt.Errorf("fabric: host %d attaches out of order; shard %d cannot own a non-contiguous host range", h, i)
+			}
+			sh.hostHi = h + 1
+		}
+		if sh.hostLo < 0 {
+			sh.hostLo, sh.hostHi = 0, 0
+		}
+	}
+	return nil
 }
 
 // Network exposes the fabric's wiring.
@@ -207,119 +287,160 @@ func (f *Fabric) Metrics() *Metrics { return &f.metrics }
 // Slot reports the current cycle.
 func (f *Fabric) Slot() uint64 { return f.slot }
 
+// ShardCount reports the spatial partition width the fabric runs with.
+func (f *Fabric) ShardCount() int { return len(f.shards) }
+
 // StartMeasurement begins the measurement window.
 func (f *Fabric) StartMeasurement() { f.measuring = true }
+
+// measuringAt reports whether deliveries and arrivals in the given slot
+// fall inside the measurement window.
+func (f *Fabric) measuringAt(slot uint64) bool {
+	return f.measuring || (f.measureSet && slot >= f.measureFrom)
+}
 
 // Inject places a newly arrived cell into its source leaf's ingress
 // adapter (the first-stage input buffer).
 func (f *Fabric) Inject(c *packet.Cell) error {
-	leaf, port := f.net.HostLeaf(c.Src)
-	n := f.nodes[f.nodeIdx[leaf]]
+	if c.Src < 0 || c.Src >= f.cfg.Hosts {
+		return fmt.Errorf("fabric: source %d out of range", c.Src)
+	}
+	n := f.nodes[f.hostNode[c.Src]]
 	c.Injected = units.Time(f.slot) * f.metrics.CycleTime
 	if f.measuring {
-		f.metrics.Offered++
+		f.injectOffered++
 	}
-	return n.push(c, port)
+	return n.push(c, f.hostPort[c.Src])
 }
 
-// Step advances the whole fabric one packet cycle.
-func (f *Fabric) Step() error {
-	ring := len(f.inflight)
-	idx := int(f.slot) % ring
+// Step advances the whole fabric one packet cycle: every shard ticks
+// its switches (concurrently when the fabric is partitioned), then the
+// coordinator exchanges mailboxes and accounts deliveries.
+func (f *Fabric) Step() error { return f.runWindow(1, nil) }
 
-	// 1. Land link deliveries due this slot.
-	for _, d := range f.inflight[idx] {
-		if err := f.nodes[d.node].push(d.cell, d.port); err != nil {
+// injectPlan moves traffic generation into the shards for windowed
+// parallel runs: each shard drives its own hosts' generators.
+type injectPlan struct {
+	gens []traffic.Generator
+	// until bounds injection (absolute slot, exclusive).
+	until uint64
+}
+
+// runWindow advances every shard n slots, then exchanges cross-shard
+// mailboxes and processes deliveries in global (slot, host) order.
+func (f *Fabric) runWindow(n int, inj *injectPlan) error {
+	if len(f.shards) == 1 {
+		f.shards[0].advance(n, inj)
+	} else {
+		runShards(f.shards, n, inj)
+	}
+	for _, s := range f.shards {
+		if s.err != nil {
+			err := s.err
+			s.err = nil
 			return err
 		}
-		if depth := f.nodes[d.node].inputDepth(d.port); depth > f.metrics.MaxInterInputDepth {
-			f.metrics.MaxInterInputDepth = depth
-		}
 	}
-	f.inflight[idx] = f.inflight[idx][:0]
-	// Land credit returns.
-	for _, cr := range f.creditWire[idx] {
-		f.nodes[cr.node].credits[cr.port].Release()
-	}
-	f.creditWire[idx] = f.creditWire[idx][:0]
-
-	// 2. Every switch arbitrates.
-	for ni, n := range f.nodes {
-		launches, freed := n.arbitrate(f.slot)
-		// Freed input-buffer slots return credits upstream.
-		for in, cnt := range freed {
-			if cnt == 0 {
-				continue
-			}
-			pi := n.ports[in]
-			if pi.Kind != UpPort && pi.Kind != DownPort {
-				continue
-			}
-			up := f.nodeIdx[pi.Peer]
-			land := (idx + 1) % len(f.creditWire)
-			for i := 0; i < cnt; i++ {
-				f.creditWire[land] = append(f.creditWire[land], creditReturn{node: up, port: pi.PeerPort})
-			}
-		}
-		// Launch cells onto links or into host egress adapters.
-		for _, l := range launches {
-			pi := n.ports[l.out]
-			switch pi.Kind {
-			case HostPort:
-				f.hostEgress[pi.Host].Receive(l.cell)
-			case UpPort, DownPort:
-				land := (idx + f.cfg.LinkDelaySlots + 1) % len(f.inflight)
-				f.inflight[land] = append(f.inflight[land], delivery{
-					cell: l.cell,
-					node: f.nodeIdx[pi.Peer],
-					port: pi.PeerPort,
-				})
-			default:
-				return fmt.Errorf("fabric: %v launched cell on unused port %d", n.id, l.out)
-			}
-		}
-		_ = ni
-	}
-
-	// 3. Host egress lines drain one cell each.
-	now := units.Time(f.slot) * f.metrics.CycleTime
-	for _, e := range f.hostEgress {
-		c := e.Drain()
-		if c == nil {
-			continue
-		}
-		c.Delivered = now + f.metrics.CycleTime
-		ok := f.order.Deliver(c)
-		if f.measuring {
-			f.metrics.Delivered++
-			slots := float64(c.Delivered-c.Created) / float64(f.metrics.CycleTime)
-			f.metrics.LatencySlots.Add(units.Time(slots))
-			if c.Class == packet.Control {
-				f.metrics.ControlLatencySlots.Add(units.Time(slots))
-			}
-			f.metrics.HopHistogram[c.Hops]++
-			if !ok {
-				f.metrics.OrderViolations++
-			}
-		}
-	}
-
-	// 4. Credit pipelines tick; depth and FC stats.
-	var blocked uint64
-	for _, n := range f.nodes {
-		n.tickCredits()
-		if n.maxVOQDepth > f.metrics.MaxVOQDepth {
-			f.metrics.MaxVOQDepth = n.maxVOQDepth
-		}
-		blocked += n.fcBlocked
-	}
-	f.metrics.FCBlocked = blocked
-
-	f.slot++
+	f.exchange()
+	f.processDelivered(n, inj != nil)
+	f.mergeStats()
+	f.slot += uint64(n)
 	return nil
 }
 
-// Run drives the fabric with per-host generators.
+// exchange moves cross-shard mailbox contents into the destination
+// shards' rings. Entries are merged in fixed (destination, source,
+// generation) order, so the landing order inside every ring slot is
+// independent of the execution schedule; state is insensitive to it
+// anyway, because each link delivers at most one cell per slot and
+// credit landings commute.
+func (f *Fabric) exchange() {
+	for ti, t := range f.shards {
+		for _, s := range f.shards {
+			if s == t {
+				continue
+			}
+			for _, fd := range s.outCells[ti] {
+				k := int(fd.at) % f.ringLen
+				t.inflight[k] = append(t.inflight[k], fd.d)
+			}
+			s.outCells[ti] = s.outCells[ti][:0]
+			for _, fcr := range s.outCreds[ti] {
+				k := int(fcr.at) % f.ringLen
+				t.creditWire[k] = append(t.creditWire[k], fcr.cr)
+			}
+			s.outCreds[ti] = s.outCreds[ti][:0]
+		}
+	}
+}
+
+// processDelivered folds the shards' delivered-cell buffers into the
+// coordinator's order checker and metrics. Iterating window offset
+// first and shards second visits cells in exactly the (slot, host)
+// order the serial kernel uses, which keeps the latency collectors'
+// floating-point accumulation bit-identical at every shard count.
+func (f *Fabric) processDelivered(n int, shardInject bool) {
+	for w := 0; w < n; w++ {
+		slot := f.slot + uint64(w)
+		measured := f.measuringAt(slot)
+		for _, s := range f.shards {
+			for _, c := range s.delivered[w] {
+				ok := f.order.Deliver(c)
+				if measured {
+					f.metrics.Delivered++
+					slots := float64(c.Delivered-c.Created) / float64(f.metrics.CycleTime)
+					f.metrics.LatencySlots.Add(units.Time(slots))
+					if c.Class == packet.Control {
+						f.metrics.ControlLatencySlots.Add(units.Time(slots))
+					}
+					f.metrics.HopHistogram[c.Hops]++
+					if !ok {
+						f.metrics.OrderViolations++
+					}
+				}
+				// Retire the cell: nothing downstream keeps a reference,
+				// so the allocator that feeds this run's injections can
+				// recycle it and the steady-state loop allocates nothing.
+				if shardInject {
+					s.alloc.Free(c)
+				} else {
+					f.alloc.Free(c)
+				}
+			}
+			s.delivered[w] = s.delivered[w][:0]
+		}
+	}
+}
+
+// mergeStats folds per-node and per-shard counters into the metrics.
+// All merged quantities are sums or maxima of cumulative counters, so
+// merging at barriers yields exactly the per-slot serial values.
+func (f *Fabric) mergeStats() {
+	var blocked uint64
+	maxVOQ := f.metrics.MaxVOQDepth
+	for _, n := range f.nodes {
+		blocked += n.fcBlocked
+		if n.maxVOQDepth > maxVOQ {
+			maxVOQ = n.maxVOQDepth
+		}
+	}
+	offered := f.injectOffered
+	maxIn := f.metrics.MaxInterInputDepth
+	for _, s := range f.shards {
+		offered += s.offered
+		if s.maxInterInputDepth > maxIn {
+			maxIn = s.maxInterInputDepth
+		}
+	}
+	f.metrics.FCBlocked = blocked
+	f.metrics.Offered = offered
+	f.metrics.MaxVOQDepth = maxVOQ
+	f.metrics.MaxInterInputDepth = maxIn
+}
+
+// Run drives the fabric with per-host generators, injecting from the
+// coordinator and synchronizing every slot — the serial reference
+// kernel. RunParallel produces byte-identical metrics faster.
 func (f *Fabric) Run(gens []traffic.Generator, warmup, measure uint64) (*Metrics, error) {
 	if len(gens) != f.cfg.Hosts {
 		return nil, fmt.Errorf("fabric: %d generators for %d hosts", len(gens), f.cfg.Hosts)
@@ -352,6 +473,49 @@ func (f *Fabric) Run(gens []traffic.Generator, warmup, measure uint64) (*Metrics
 	return &f.metrics, nil
 }
 
+// RunParallel drives the fabric like Run, but advances the shards
+// concurrently in conservative-lookahead windows of LinkDelaySlots + 1
+// slots: an event emitted during a window cannot land in another shard
+// before the window ends (cells and credits both fly for
+// LinkDelaySlots + 1 slots), so shards only synchronize at window
+// barriers. With zero link delay the window is one slot — shards then
+// synchronize every slot but still arbitrate all switches in parallel.
+// Traffic generation moves into the shards (each host's generator is an
+// independent seeded stream) and delivered cells are accounted centrally
+// in (slot, host) order, so the metrics are byte-identical to Run's at
+// any shard count.
+func (f *Fabric) RunParallel(gens []traffic.Generator, warmup, measure uint64) (*Metrics, error) {
+	if len(gens) != f.cfg.Hosts {
+		return nil, fmt.Errorf("fabric: %d generators for %d hosts", len(gens), f.cfg.Hosts)
+	}
+	base := f.slot
+	total := warmup + measure
+	if measure > 0 {
+		f.measureSet = true
+		f.measureFrom = base + warmup
+		f.metrics.MeasureSlots = measure
+	}
+	inj := &injectPlan{gens: gens, until: base + total}
+	window := uint64(f.cfg.LinkDelaySlots + 1)
+	for done := uint64(0); done < total; {
+		n := window
+		if total-done < n {
+			n = total - done
+		}
+		if err := f.runWindow(int(n), inj); err != nil {
+			return nil, err
+		}
+		done += n
+	}
+	if measure > 0 {
+		// Leave the flag where serial Run would: later Drain deliveries
+		// still count into the measured metrics.
+		f.measuring = true
+	}
+	f.measureSet = false
+	return &f.metrics, nil
+}
+
 // Drain runs extra slots with no arrivals until all queues empty or the
 // budget is exhausted; used by lossless-delivery tests.
 func (f *Fabric) Drain(maxSlots uint64) (bool, error) {
@@ -366,25 +530,37 @@ func (f *Fabric) Drain(maxSlots uint64) (bool, error) {
 	return f.Idle(), nil
 }
 
-// Idle reports whether every buffer and link in the fabric is empty.
+// Idle reports whether every buffer, link, and flow-control loop in the
+// fabric is empty. Credit returns still in flight count as activity: a
+// drain that stopped while the credit wire was busy would strand the
+// upstream windows below capacity and silently throttle a reused
+// fabric.
 func (f *Fabric) Idle() bool {
 	for _, n := range f.nodes {
-		for _, v := range n.voqs {
-			if v.Depth() > 0 {
+		if !n.idle() {
+			return false
+		}
+	}
+	for _, s := range f.shards {
+		for _, batch := range s.inflight {
+			if len(batch) > 0 {
 				return false
 			}
 		}
-		if n.egress != nil {
-			for _, e := range n.egress {
-				if e.Queued() > 0 {
-					return false
-				}
+		for _, batch := range s.creditWire {
+			if len(batch) > 0 {
+				return false
 			}
 		}
-	}
-	for _, batch := range f.inflight {
-		if len(batch) > 0 {
-			return false
+		for _, out := range s.outCells {
+			if len(out) > 0 {
+				return false
+			}
+		}
+		for _, out := range s.outCreds {
+			if len(out) > 0 {
+				return false
+			}
 		}
 	}
 	for _, e := range f.hostEgress {

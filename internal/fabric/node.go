@@ -13,6 +13,11 @@ import (
 // outputs, a central scheduler, per-output credits toward the next
 // stage's input buffer, and (for buffer-placement option 1) per-output
 // egress queues.
+//
+// A node is the unit of spatial partitioning: all of its mutable state
+// is reachable only through the node itself, so any disjoint grouping of
+// nodes can tick concurrently (the //osmosis:shardsafe annotations on
+// the step path make the linter prove it).
 type node struct {
 	id    NodeID
 	net   Net
@@ -30,11 +35,20 @@ type node struct {
 
 	// credits[out] guards the downstream input buffer of inter-switch
 	// links; nil for host outputs (host egress is paced separately) and
-	// unused ports.
+	// unused ports. Credit returns ride the fabric's credit wire for the
+	// full reverse flight and arrive via Land, so the counters carry no
+	// internal return pipeline of their own.
 	credits []*fc.Credits
 
 	// egress[out] is the option-1 output buffer; nil in option 3.
 	egress []*voq.Egress
+
+	// arbitration scratch, reused every slot so the steady-state tick
+	// path performs zero heap allocations (pinned by alloc tests).
+	match     sched.Matching
+	launchBuf []launch
+	nLaunch   int
+	freedBuf  []int
 
 	// stats
 	fcBlocked   uint64
@@ -42,7 +56,7 @@ type node struct {
 }
 
 // newNode builds a switch node.
-func newNode(id NodeID, net Net, mk func() sched.Scheduler, receivers, inputCapacity int, egressBuffered bool, linkRTT int) (*node, error) {
+func newNode(id NodeID, net Net, mk func() sched.Scheduler, receivers, inputCapacity int, egressBuffered bool) (*node, error) {
 	ports, err := net.PortMap(id)
 	if err != nil {
 		return nil, err
@@ -64,7 +78,9 @@ func newNode(id NodeID, net Net, mk func() sched.Scheduler, receivers, inputCapa
 	n.credits = make([]*fc.Credits, k)
 	for out, pi := range ports {
 		if pi.Kind == UpPort || pi.Kind == DownPort {
-			c, err := fc.NewCredits(inputCapacity, linkRTT)
+			// rttSlots 1 because the return flight is modeled on the
+			// fabric's credit wire, not inside the counter (see Land).
+			c, err := fc.NewCredits(inputCapacity, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -77,6 +93,9 @@ func newNode(id NodeID, net Net, mk func() sched.Scheduler, receivers, inputCapa
 			n.egress[out] = voq.NewEgress(receivers, 0)
 		}
 	}
+	n.match = sched.NewMatching(k)
+	n.launchBuf = make([]launch, k)
+	n.freedBuf = make([]int, k)
 	return n, nil
 }
 
@@ -108,6 +127,8 @@ func (b nodeBoard) Uncommit(in, out int) { b.n.voqs[in].Uncommit(out) }
 
 // push enqueues a cell arriving on input port in; the output port is
 // computed from the routing function.
+//
+//osmosis:shardsafe
 func (n *node) push(c *packet.Cell, in int) error {
 	out, err := n.net.Route(n.id, c.Src, c.Dst)
 	if err != nil {
@@ -128,8 +149,14 @@ type launch struct {
 
 // arbitrate runs the scheduler and pops the granted cells, respecting
 // credits; it returns the launches and releases upstream credits for
-// freed input-buffer slots via the returned per-input counts.
+// freed input-buffer slots via the returned per-input counts. Both
+// returned slices are node-owned scratch, valid until the next
+// arbitrate call — callers must consume them immediately.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
 func (n *node) arbitrate(slot uint64) (launches []launch, freed []int) {
+	n.nLaunch = 0
 	// Option 1: egress queues transmit first, so a cell entering the
 	// output buffer waits at least one slot — the store-and-forward
 	// cost of the extra buffering stage.
@@ -142,12 +169,16 @@ func (n *node) arbitrate(slot uint64) (launches []launch, freed []int) {
 				n.fcBlocked++
 				continue
 			}
-			launches = append(launches, launch{cell: e.Drain(), out: out})
+			n.launchBuf[n.nLaunch] = launch{cell: e.Drain(), out: out}
+			n.nLaunch++
 		}
 	}
-	m := n.sch.Tick(slot, nodeBoard{n})
-	freed = make([]int, n.radix)
-	for in, out := range m.Out {
+	n.sch.TickInto(slot, nodeBoard{n}, &n.match)
+	freed = n.freedBuf
+	for i := range freed {
+		freed[i] = 0
+	}
+	for in, out := range n.match.Out {
 		if out < 0 {
 			continue
 		}
@@ -165,7 +196,7 @@ func (n *node) arbitrate(slot uint64) (launches []launch, freed []int) {
 		c := n.voqs[in].Pop(out)
 		if c == nil {
 			// Scheduler promised a cell that is not there — a bug.
-			//lint:ignore panicfree scheduler/VOQ bookkeeping invariant: a grant without a cell is a scheduler bug, not a runtime condition
+			//lint:ignore panicfree,hotpath scheduler/VOQ bookkeeping invariant: a grant without a cell is a scheduler bug, not a runtime condition; the Sprintf only runs on that dead path
 			panic(fmt.Sprintf("fabric: %v granted empty VOQ in=%d out=%d slot=%d", n.id, in, out, slot))
 		}
 		c.Hops++
@@ -173,7 +204,8 @@ func (n *node) arbitrate(slot uint64) (launches []launch, freed []int) {
 		if n.egress != nil {
 			n.egress[out].Receive(c)
 		} else {
-			launches = append(launches, launch{cell: c, out: out})
+			n.launchBuf[n.nLaunch] = launch{cell: c, out: out}
+			n.nLaunch++
 		}
 	}
 	// Depth tracking.
@@ -182,14 +214,22 @@ func (n *node) arbitrate(slot uint64) (launches []launch, freed []int) {
 			n.maxVOQDepth = d
 		}
 	}
-	return launches, freed
+	return n.launchBuf[:n.nLaunch], freed
 }
 
-// tickCredits advances all credit return pipelines one slot.
-func (n *node) tickCredits() {
-	for _, c := range n.credits {
-		if c != nil {
-			c.Tick()
+// idle reports whether the node holds no cells.
+func (n *node) idle() bool {
+	for _, v := range n.voqs {
+		if v.Depth() > 0 {
+			return false
 		}
 	}
+	if n.egress != nil {
+		for _, e := range n.egress {
+			if e.Queued() > 0 {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -1,0 +1,453 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/internal/fc"
+	"repro/internal/packet"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// --- satellite 1: Idle must see in-flight credit returns -------------
+
+// TestIdleSeesInFlightCredits pins the Drain/Idle contract: after a
+// cell is delivered, its freed input slot's credit is still flying back
+// upstream for LinkDelaySlots+1 slots, and the fabric must not report
+// idle until it lands. (The pre-fix Idle ignored the credit wire, so
+// Drain could strand a reused fabric below its credit capacity.)
+func TestIdleSeesInFlightCredits(t *testing.T) {
+	f := smallFabric(t, nil)
+	// One cross-leaf cell: host 0 -> host 4 traverses leaf, spine, leaf.
+	c := f.alloc.New(0, 4, packet.Data, 0)
+	if err := f.Inject(c); err != nil {
+		t.Fatal(err)
+	}
+	sawBusyAfterDelivery := false
+	var idleAt uint64
+	for i := 0; i < 200; i++ {
+		if f.Idle() {
+			idleAt = f.Slot()
+			break
+		}
+		if f.Metrics().Delivered == 0 && f.order.Violations() == 0 {
+			// still in flight
+		}
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if f.hostEgressEmpty() && f.nodesEmpty() && !f.Idle() {
+			// Every queue is empty yet the fabric is busy: only credit
+			// returns (or link flights) remain. This is the state the
+			// buggy Idle misclassified.
+			sawBusyAfterDelivery = true
+		}
+	}
+	if idleAt == 0 {
+		t.Fatal("fabric never went idle")
+	}
+	if !sawBusyAfterDelivery {
+		t.Error("never observed empty-queues-but-busy state; test lost its teeth")
+	}
+	// The regression's observable damage: credits must all be home.
+	for _, n := range f.nodes {
+		for out, cr := range n.credits {
+			if cr == nil {
+				continue
+			}
+			if got := cr.Available(); got != f.cfg.InputCapacity {
+				t.Errorf("node %v out %d: %d credits after idle, want %d",
+					n.id, out, got, f.cfg.InputCapacity)
+			}
+		}
+	}
+}
+
+func (f *Fabric) hostEgressEmpty() bool {
+	for _, e := range f.hostEgress {
+		if e.Queued() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Fabric) nodesEmpty() bool {
+	for _, n := range f.nodes {
+		if !n.idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDrainRestoresCredits runs real traffic, drains, and requires the
+// full credit population back in every counter — the end-to-end version
+// of the Idle regression.
+func TestDrainRestoresCredits(t *testing.T) {
+	f := smallFabric(t, nil)
+	runFabric(t, f, traffic.KindUniform, 0.8, 0, 2000)
+	drained, err := f.Drain(20000)
+	if err != nil || !drained {
+		t.Fatalf("drain failed: %v", err)
+	}
+	for _, n := range f.nodes {
+		for out, cr := range n.credits {
+			if cr == nil {
+				continue
+			}
+			if got := cr.Available(); got != f.cfg.InputCapacity {
+				t.Errorf("node %v out %d: %d credits after drain, want %d",
+					n.id, out, got, f.cfg.InputCapacity)
+			}
+		}
+	}
+}
+
+// --- satellite 2: FC loop latency matches fc.LoopRTT -----------------
+
+// TestCreditLoopRTTMatchesSizingFormula pins the end-to-end credit loop
+// with a deterministic single-flow experiment: InputCapacity 1 makes
+// every inter-switch link a stop-and-wait channel, so the steady-state
+// spacing between deliveries is exactly the loop RTT the sizing formula
+// fc.LoopRTT(LinkDelaySlots, 1) promises. The pre-fix engine stacked a
+// fixed +1 credit wire on top of fc.Credits' own max(D,1) pipeline,
+// which overshot the formula at D=0.
+func TestCreditLoopRTTMatchesSizingFormula(t *testing.T) {
+	for _, d := range []int{0, 2, 5} {
+		d := d
+		t.Run(fmt.Sprintf("delay%d", d), func(t *testing.T) {
+			cfg := Config{
+				Hosts:          32,
+				Radix:          8,
+				Receivers:      2,
+				NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
+				LinkDelaySlots: d,
+				InputCapacity:  1,
+			}
+			f, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uint64(fc.LoopRTT(d, 1))
+			// Saturate one cross-leaf flow: host 0 -> host 4.
+			var deliverySlots []uint64
+			seen := uint64(0)
+			f.StartMeasurement()
+			for slot := uint64(0); slot < 40*want; slot++ {
+				c := f.alloc.New(0, 4, packet.Data, units.Time(slot)*f.metrics.CycleTime)
+				if err := f.Inject(c); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.Step(); err != nil {
+					t.Fatal(err)
+				}
+				if f.metrics.Delivered > seen {
+					seen = f.metrics.Delivered
+					deliverySlots = append(deliverySlots, f.Slot())
+				}
+			}
+			if len(deliverySlots) < 10 {
+				t.Fatalf("only %d deliveries", len(deliverySlots))
+			}
+			// Skip the pipeline-fill transient; the tail must tick at
+			// exactly one delivery per loop RTT.
+			for i := len(deliverySlots) - 8; i < len(deliverySlots); i++ {
+				if gap := deliverySlots[i] - deliverySlots[i-1]; gap != want {
+					t.Fatalf("delivery gap %d slots at delay %d, want LoopRTT=%d (slots %v)",
+						gap, d, want, deliverySlots[len(deliverySlots)-9:])
+				}
+			}
+		})
+	}
+}
+
+// TestDefaultBufferSustainsFullRate is the converse: with the default
+// fc.BufferFor sizing the same stop-and-wait flow must stream at one
+// cell per slot — proving the sizing formula and the modeled RTT agree.
+func TestDefaultBufferSustainsFullRate(t *testing.T) {
+	for _, d := range []int{0, 3} {
+		f, err := New(Config{
+			Hosts: 32, Radix: 8, Receivers: 2,
+			NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
+			LinkDelaySlots: d,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.StartMeasurement()
+		const slots = 400
+		for slot := uint64(0); slot < slots; slot++ {
+			c := f.alloc.New(0, 4, packet.Data, units.Time(slot)*f.metrics.CycleTime)
+			if err := f.Inject(c); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// All but the pipeline fill must be out: full rate, zero stalls.
+		fill := uint64(3 * (d + 2))
+		if f.metrics.Delivered < slots-fill {
+			t.Errorf("delay %d: %d of %d delivered; default buffer cannot sustain full rate",
+				d, f.metrics.Delivered, slots)
+		}
+		if f.metrics.FCBlocked != 0 {
+			t.Errorf("delay %d: %d FC stalls on a correctly sized loop", d, f.metrics.FCBlocked)
+		}
+	}
+}
+
+// --- satellite 3: zero allocations on the steady-state tick ----------
+
+// TestStepZeroAllocsSteadyState pins the whole per-slot path — traffic
+// draw, injection, arbitration, link rings, delivery, cell recycling —
+// at zero heap allocations per slot once warm. Measurement is off so
+// the latency collectors (which legitimately grow) stay out of frame.
+func TestStepZeroAllocsSteadyState(t *testing.T) {
+	f := smallFabric(t, nil)
+	gens, err := traffic.Build(traffic.Config{Kind: traffic.KindUniform, N: 32, Load: 0.7, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func() {
+		now := units.Time(f.Slot()) * f.metrics.CycleTime
+		for h, g := range gens {
+			a, ok := g.Next(f.Slot())
+			if !ok {
+				continue
+			}
+			c := f.alloc.New(h, a.Dst, packet.Data, now)
+			if err := f.Inject(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm-up: grow rings, FIFOs, and the allocator free list to their
+	// steady-state capacity, then drain so the free list holds every
+	// cell ever issued.
+	for i := 0; i < 3000; i++ {
+		step()
+	}
+	if drained, err := f.Drain(20000); err != nil || !drained {
+		t.Fatalf("warm-up drain failed: %v", err)
+	}
+	if avg := testing.AllocsPerRun(400, step); avg != 0 {
+		t.Errorf("steady-state slot allocates %.1f objects, want 0", avg)
+	}
+}
+
+// --- golden determinism across shard counts --------------------------
+
+// metricsFingerprint renders every metric bit-exactly (floats in hex) so
+// byte comparison is meaningful.
+func metricsFingerprint(m *Metrics) string {
+	hex := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	sample := func(s *stats.LatencySample) string {
+		if s.N() == 0 {
+			return "empty"
+		}
+		return fmt.Sprintf("n=%d mean=%s sd=%s min=%s max=%s p50=%s p99=%s",
+			s.N(), hex(float64(s.Mean())), hex(s.StdDev()),
+			hex(float64(s.Min())), hex(float64(s.Max())),
+			hex(float64(s.Quantile(0.5))), hex(float64(s.Quantile(0.99))))
+	}
+	hops := make([]int, 0, len(m.HopHistogram))
+	for h := range m.HopHistogram {
+		hops = append(hops, h)
+	}
+	sort.Ints(hops)
+	hist := ""
+	for _, h := range hops {
+		hist += fmt.Sprintf(" %d:%d", h, m.HopHistogram[h])
+	}
+	return fmt.Sprintf(
+		"offered=%d delivered=%d slots=%d lat[%s] ctl[%s] hops[%s] viol=%d drop=%d fcblk=%d maxvoq=%d maxin=%d",
+		m.Offered, m.Delivered, m.MeasureSlots,
+		sample(&m.LatencySlots), sample(&m.ControlLatencySlots), hist,
+		m.OrderViolations, m.Dropped, m.FCBlocked, m.MaxVOQDepth, m.MaxInterInputDepth)
+}
+
+// runSharded builds the fabric, runs it (serial reference Run when
+// shards == 0, RunParallel otherwise), drains, and fingerprints.
+func runSharded(t *testing.T, cfg Config, tcfg traffic.Config, shards int, warmup, measure uint64) (string, *Metrics, *Fabric) {
+	t.Helper()
+	cfg.Shards = shards
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := traffic.Build(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *Metrics
+	if shards == 0 {
+		m, err = f.Run(gens, warmup, measure)
+	} else {
+		m, err = f.RunParallel(gens, warmup, measure)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained, err := f.Drain(400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drained {
+		t.Fatal("failed to drain")
+	}
+	return metricsFingerprint(m), m, f
+}
+
+// TestGoldenDeterminism2048Ports is the acceptance run: the paper-scale
+// 2048-port, 3-stage fabric at 0.95 load must produce byte-identical
+// metrics from the serial reference kernel and from RunParallel at
+// shard counts 1, 2, and 4, while staying lossless and in order.
+func TestGoldenDeterminism2048Ports(t *testing.T) {
+	cfg := Config{
+		Hosts:          2048,
+		Radix:          64,
+		Receivers:      2,
+		NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(64, 0) },
+		LinkDelaySlots: 5,
+	}
+	tcfg := traffic.Config{Kind: traffic.KindUniform, N: 2048, Load: 0.95, Seed: 1}
+	// No warm-up: with measurement from slot 0, offered == delivered
+	// after the drain is the exact conservation (lossless) statement.
+	warmup, measure := uint64(0), uint64(180)
+
+	ref, m, f := runSharded(t, cfg, tcfg, 0, warmup, measure)
+	if f.ShardCount() != 1 {
+		t.Fatalf("serial reference ran with %d shards", f.ShardCount())
+	}
+	if m.Delivered == 0 {
+		t.Fatal("nothing delivered at scale")
+	}
+	if m.OrderViolations != 0 || m.Dropped != 0 {
+		t.Errorf("reference run: violations=%d drops=%d", m.OrderViolations, m.Dropped)
+	}
+	if m.Offered != m.Delivered {
+		t.Errorf("reference run leaked cells: offered %d delivered %d", m.Offered, m.Delivered)
+	}
+	if m.MaxInterInputDepth > f.cfg.InputCapacity {
+		t.Errorf("input buffer hit %d cells, capacity %d", m.MaxInterInputDepth, f.cfg.InputCapacity)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		got, _, pf := runSharded(t, cfg, tcfg, shards, warmup, measure)
+		if want := shards; pf.ShardCount() != want {
+			t.Fatalf("asked for %d shards, got %d", want, pf.ShardCount())
+		}
+		if got != ref {
+			t.Errorf("shards=%d diverged from serial reference:\n  ref: %s\n  got: %s", shards, ref, got)
+		}
+	}
+}
+
+// TestGoldenDeterminismSmallShapes sweeps the awkward corners cheaply:
+// zero link delay (window collapses to one slot), option-1 egress
+// buffering, bursty arrivals, and shard counts that do not divide the
+// switch count.
+func TestGoldenDeterminismSmallShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		tcfg traffic.Config
+	}{
+		{
+			name: "delay0",
+			cfg: Config{Hosts: 32, Radix: 8, Receivers: 2,
+				NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
+				LinkDelaySlots: 0},
+			tcfg: traffic.Config{Kind: traffic.KindUniform, N: 32, Load: 0.8, Seed: 11},
+		},
+		{
+			name: "option1",
+			cfg: Config{Hosts: 32, Radix: 8, Receivers: 2,
+				NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
+				LinkDelaySlots: 2, EgressBuffered: true},
+			tcfg: traffic.Config{Kind: traffic.KindUniform, N: 32, Load: 0.7, Seed: 12},
+		},
+		{
+			name: "bursty",
+			cfg: Config{Hosts: 32, Radix: 8, Receivers: 2,
+				NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
+				LinkDelaySlots: 3},
+			tcfg: traffic.Config{Kind: traffic.KindBursty, N: 32, Load: 0.6, Seed: 13},
+		},
+		{
+			name: "hotspot",
+			cfg: Config{Hosts: 32, Radix: 8, Receivers: 2,
+				NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
+				LinkDelaySlots: 4},
+			tcfg: traffic.Config{Kind: traffic.KindHotspot, N: 32, Load: 0.9,
+				HotPort: 0, HotFraction: 0.5, Seed: 14},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ref, _, _ := runSharded(t, tc.cfg, tc.tcfg, 0, 200, 1500)
+			for _, shards := range []int{1, 2, 3, 5, 7, 1 << 10} {
+				got, _, pf := runSharded(t, tc.cfg, tc.tcfg, shards, 200, 1500)
+				if got != ref {
+					t.Errorf("shards=%d (clamped %d) diverged:\n  ref: %s\n  got: %s",
+						shards, pf.ShardCount(), ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardsClampAndPartition checks the partition invariants directly.
+func TestShardsClampAndPartition(t *testing.T) {
+	f := smallFabric(t, func(c *Config) { c.Shards = 1 << 20 })
+	if f.ShardCount() != len(f.nodes) {
+		t.Errorf("shard count %d, want clamp to %d nodes", f.ShardCount(), len(f.nodes))
+	}
+	f = smallFabric(t, func(c *Config) { c.Shards = 3 })
+	covered := 0
+	for i, s := range f.shards {
+		if s.nodeHi < s.nodeLo {
+			t.Fatalf("shard %d inverted", i)
+		}
+		covered += s.nodeHi - s.nodeLo
+		for ni := s.nodeLo; ni < s.nodeHi; ni++ {
+			if f.nodeShard[ni] != i {
+				t.Errorf("node %d mapped to shard %d, owned by %d", ni, f.nodeShard[ni], i)
+			}
+		}
+		for h := s.hostLo; h < s.hostHi; h++ {
+			if f.nodeShard[f.hostNode[h]] != i {
+				t.Errorf("host %d owned by shard %d but attaches elsewhere", h, i)
+			}
+		}
+	}
+	if covered != len(f.nodes) {
+		t.Errorf("shards cover %d of %d nodes", covered, len(f.nodes))
+	}
+}
+
+// TestRunParallelMidstreamWarmupCrossing pins the measuring window when
+// the warm-up boundary falls inside a lookahead window (warmup not a
+// multiple of LinkDelaySlots+1).
+func TestRunParallelMidstreamWarmupCrossing(t *testing.T) {
+	cfg := Config{Hosts: 32, Radix: 8, Receivers: 2,
+		NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
+		LinkDelaySlots: 3} // window = 4
+	ref, _, _ := runSharded(t, cfg,
+		traffic.Config{Kind: traffic.KindUniform, N: 32, Load: 0.6, Seed: 21}, 0, 333, 777)
+	got, _, _ := runSharded(t, cfg,
+		traffic.Config{Kind: traffic.KindUniform, N: 32, Load: 0.6, Seed: 21}, 4, 333, 777)
+	if got != ref {
+		t.Errorf("odd warmup/measure diverged:\n  ref: %s\n  got: %s", ref, got)
+	}
+}

@@ -72,6 +72,18 @@ func (c *Credits) Release() {
 	c.returning[(c.pos+len(c.returning)-1)%len(c.returning)]++
 }
 
+// Land makes one credit usable immediately. It is the arrival half of a
+// return loop whose flight time the caller models externally: the
+// fabric's credit wire carries each return for the full reverse
+// time-of-flight and calls Land when it arrives back at the upstream
+// scheduler, so the end-to-end loop is exactly LoopRTT slots — cell
+// flight down, pop, and credit flight back — with no second pipeline
+// stacked on top. Callers that have no external transport use
+// Release/Tick instead, which model the flight here.
+//
+//osmosis:shardsafe
+func (c *Credits) Land() { c.avail++ }
+
 // Tick advances one packet cycle, landing any credits whose return
 // delay elapsed.
 //

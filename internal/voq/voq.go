@@ -26,7 +26,10 @@ type FIFO struct {
 func (f *FIFO) Len() int { return len(f.cells) - f.head }
 
 // Push appends a cell.
-func (f *FIFO) Push(c *packet.Cell) { f.cells = append(f.cells, c) }
+func (f *FIFO) Push(c *packet.Cell) {
+	//lint:ignore hotpath amortized O(1); backing array is cap-stable once queues hit their credit-bounded steady-state depth
+	f.cells = append(f.cells, c)
+}
 
 // Pop removes and returns the oldest cell, or nil if empty.
 func (f *FIFO) Pop() *packet.Cell {
