@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/fabric"
@@ -36,7 +37,8 @@ func main() {
 		levels   = flag.Int("levels", 0, "fat-tree levels (0 = minimal)")
 		rxCount  = flag.Int("receivers", 2, "receivers per output")
 		load     = flag.Float64("load", 0.6, "offered load per host")
-		kind     = flag.String("traffic", "uniform", "uniform | bursty | hotspot | bimodal")
+		kind     = flag.String("traffic", "uniform", strings.Join(traffic.KindNames(), " | "))
+		hotFrac  = flag.Float64("hotfrac", 0.5, "hotspot fraction")
 		linkD    = flag.Int("linkdelay", 5, "inter-switch cable delay in cycles")
 		capacity = flag.Int("capacity", 0, "inter-stage input buffer cells (0 = RTT-sized)")
 		option1  = flag.Bool("option1", false, "buffer placement option 1 (egress buffers per stage)")
@@ -71,19 +73,15 @@ func main() {
 	fmt.Printf("flow control: loop RTT %d cycles, input buffers %d cells; placement option %d\n\n",
 		loopRTT, fc.BufferFor(loopRTT, 2), map[bool]int{false: 3, true: 1}[*option1])
 
-	tcfg := traffic.Config{N: *hosts, Load: *load, Seed: *seed}
-	switch *kind {
-	case "uniform":
-		tcfg.Kind = traffic.KindUniform
-	case "bursty":
-		tcfg.Kind = traffic.KindBursty
-	case "hotspot":
-		tcfg.Kind = traffic.KindHotspot
-	case "bimodal":
-		tcfg.Kind = traffic.KindBimodal
-	default:
-		fatal(fmt.Errorf("unknown traffic kind %q", *kind))
+	tcfg := traffic.Config{N: *hosts, Load: *load, Seed: *seed, HotFraction: *hotFrac}
+	k, err := traffic.ParseKind(*kind)
+	if err != nil {
+		fatal(err)
 	}
+	if k == traffic.KindTrace {
+		fatal(fmt.Errorf("trace replay is a cmd/osmosis feature; fabricsim generates its traffic"))
+	}
+	tcfg.Kind = k
 	gens, err := traffic.Build(tcfg)
 	if err != nil {
 		fatal(err)

@@ -8,6 +8,11 @@
 //	osmosis -scheduler pipelined-islip        # the Fig.-6 prior art
 //	osmosis -receivers 1                      # single-receiver egress
 //	osmosis -traffic bursty -burst 32         # bursty workload
+//	osmosis -traffic incast -fanin 8          # rotating fan-in storm
+//	osmosis -traffic pareto -alpha 1.3        # heavy-tail on/off bursts
+//	osmosis -traffic ring-allreduce -phase 128  # synthetic collective phases
+//	osmosis -traffic mmpp -trace-record w.tr  # record a workload trace
+//	osmosis -trace-replay w.tr                # rerun it bit-exactly
 //	osmosis -sweep 0.1,0.3,0.5,0.7,0.9,0.99   # delay-vs-load curve
 //	osmosis -reps 8                           # 8 parallel replications, merged stats
 //	osmosis -table1                           # verify Table 1 at the ASIC target
@@ -51,9 +56,15 @@ func main() {
 		schedName = flag.String("scheduler", "flppr", "flppr | islip | pipelined-islip | pim | lqf | ideal-oq")
 		param     = flag.Int("k", 0, "scheduler iterations / FLPPR sub-schedulers (0 = log2 N)")
 		load      = flag.Float64("load", 0.5, "offered load per port (cells/slot)")
-		kind      = flag.String("traffic", "uniform", "uniform | bursty | hotspot | permutation | diagonal | bimodal")
-		burst     = flag.Float64("burst", 16, "mean burst length for bursty traffic")
+		kind      = flag.String("traffic", "uniform", strings.Join(traffic.KindNames(), " | "))
+		burst     = flag.Float64("burst", 16, "mean burst length for bursty/mmpp/pareto traffic")
 		hotFrac   = flag.Float64("hotfrac", 0.5, "hotspot fraction")
+		fanin     = flag.Int("fanin", 0, "incast storm senders per epoch (0 = ports/4)")
+		epoch     = flag.Uint64("epoch", 0, "incast epoch length in slots (0 = 512)")
+		phase     = flag.Uint64("phase", 0, "collective phase/chunk length in slots (0 = 64)")
+		alpha     = flag.Float64("alpha", 0, "pareto burst shape (0 = 1.5)")
+		traceRec  = flag.String("trace-record", "", "record the workload to this trace file and exit")
+		traceRep  = flag.String("trace-replay", "", "replay a recorded trace file instead of generating traffic")
 		warmup    = flag.Uint64("warmup", 2000, "warm-up slots")
 		measure   = flag.Uint64("measure", 10000, "measured slots")
 		seed      = flag.Uint64("seed", 1, "RNG seed")
@@ -155,22 +166,56 @@ func main() {
 		return
 	}
 
-	tcfg := traffic.Config{Load: *load, Seed: *seed, MeanBurst: *burst, HotFraction: *hotFrac}
-	switch *kind {
-	case "uniform":
-		tcfg.Kind = traffic.KindUniform
-	case "bursty":
-		tcfg.Kind = traffic.KindBursty
-	case "hotspot":
-		tcfg.Kind = traffic.KindHotspot
-	case "permutation":
-		tcfg.Kind = traffic.KindPermutation
-	case "diagonal":
-		tcfg.Kind = traffic.KindDiagonal
-	case "bimodal":
-		tcfg.Kind = traffic.KindBimodal
-	default:
-		fatal(fmt.Errorf("unknown traffic kind %q", *kind))
+	tcfg := traffic.Config{
+		Load: *load, Seed: *seed, MeanBurst: *burst, HotFraction: *hotFrac,
+		Fanin: *fanin, EpochSlots: *epoch, PhaseSlots: *phase, ParetoAlpha: *alpha,
+	}
+	k, err := traffic.ParseKind(*kind)
+	if err != nil {
+		fatal(err)
+	}
+	tcfg.Kind = k
+	switch {
+	case *traceRep != "":
+		f, err := os.Open(*traceRep)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := traffic.ReadTrace(f)
+		_ = f.Close() // read-only; parse errors already surfaced
+		if err != nil {
+			fatal(err)
+		}
+		if tr.N != *ports {
+			fatal(fmt.Errorf("trace has %d ports, switch has %d (pass -ports %d)", tr.N, *ports, tr.N))
+		}
+		tcfg = traffic.Config{Kind: traffic.KindTrace, Trace: tr}
+	case tcfg.Kind == traffic.KindTrace:
+		fatal(fmt.Errorf("-traffic trace needs -trace-replay <file>"))
+	}
+	if *traceRec != "" {
+		if tcfg.Kind == traffic.KindTrace {
+			fatal(fmt.Errorf("-trace-record and -trace-replay are mutually exclusive"))
+		}
+		tcfg.N = *ports
+		tr, err := traffic.RecordTrace(tcfg, *warmup+*measure)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*traceRec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.Write(f); err != nil {
+			_ = f.Close() // the write error is the one to report
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d events over %d slots to %s (v%d format)\n",
+			len(tr.Events), tr.Slots, *traceRec, traffic.TraceVersion)
+		return
 	}
 	if *reps > 1 {
 		swCfg, err := sys.SwitchConfig()
@@ -233,6 +278,7 @@ func printMetrics(m *crossbar.Metrics, ports int) {
 	fmt.Printf("mean delay           %.2f cycles (%v)\n", m.MeanLatencySlots(), m.Latency.Mean())
 	fmt.Printf("p99 delay            %v\n", m.Latency.P99())
 	fmt.Printf("grant latency        %.2f cycles\n", m.GrantLatency.Mean())
+	fmt.Printf("service fairness     %.4f (Jain, per-source)\n", m.ServiceFairness())
 	if m.ControlLatency.N() > 0 {
 		fmt.Printf("control-cell delay   %v (n=%d)\n", m.ControlLatency.Mean(), m.ControlLatency.N())
 	}

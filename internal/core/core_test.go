@@ -209,7 +209,8 @@ func TestRunWorkloadKinds(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, k := range []traffic.Kind{traffic.KindBursty, traffic.KindHotspot, traffic.KindBimodal} {
-		m, err := s.RunWorkload(traffic.Config{Kind: k, Load: 0.4}, 200, 1000)
+		// Hotspot no longer has a silent default fraction; configure one.
+		m, err := s.RunWorkload(traffic.Config{Kind: k, Load: 0.4, HotFraction: 0.5}, 200, 1000)
 		if err != nil {
 			t.Fatalf("%v: %v", k, err)
 		}

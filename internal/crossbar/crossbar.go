@@ -76,6 +76,10 @@ type Metrics struct {
 	// cells stay queued and are re-arbitrated, so they are delayed, not
 	// lost.
 	ReceiverRejects uint64
+	// SrcOffered and SrcDelivered break Offered/Delivered down by source
+	// port, the inputs to the Jain fairness index (ServiceFairness).
+	// Sized N by New; nil on a zero-value Metrics until the first Merge.
+	SrcOffered, SrcDelivered []uint64
 	// CycleTime scales slots to time.
 	CycleTime units.Time
 }
@@ -101,6 +105,18 @@ func (m *Metrics) Merge(other *Metrics) {
 	}
 	m.OrderViolations += other.OrderViolations
 	m.ReceiverRejects += other.ReceiverRejects
+	if len(m.SrcOffered) < len(other.SrcOffered) {
+		m.SrcOffered = append(m.SrcOffered, make([]uint64, len(other.SrcOffered)-len(m.SrcOffered))...)
+	}
+	for i, v := range other.SrcOffered {
+		m.SrcOffered[i] += v
+	}
+	if len(m.SrcDelivered) < len(other.SrcDelivered) {
+		m.SrcDelivered = append(m.SrcDelivered, make([]uint64, len(other.SrcDelivered)-len(m.SrcDelivered))...)
+	}
+	for i, v := range other.SrcDelivered {
+		m.SrcDelivered[i] += v
+	}
 	if m.CycleTime == 0 {
 		m.CycleTime = other.CycleTime
 	}
@@ -122,6 +138,30 @@ func (m *Metrics) AcceptanceRatio() float64 {
 		return 1
 	}
 	return float64(m.Delivered) / float64(m.Offered)
+}
+
+// ServiceFairness reports the Jain fairness index over the per-source
+// service ratios delivered_i/offered_i, counting only sources that
+// offered traffic during the window: 1 means every active source was
+// served in exact proportion to its demand; the index floors at 1/k for
+// k active sources when one source gets everything. Returns 1 when no
+// source offered anything (an idle switch starves nobody).
+func (m *Metrics) ServiceFairness() float64 {
+	var sum, sumSq float64
+	active := 0
+	for i, off := range m.SrcOffered {
+		if off == 0 {
+			continue
+		}
+		active++
+		x := float64(m.SrcDelivered[i]) / float64(off)
+		sum += x
+		sumSq += x * x
+	}
+	if active == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(active) * sumSq)
 }
 
 // MeanLatencySlots reports mean end-to-end delay in packet cycles.
@@ -383,6 +423,8 @@ func New(cfg Config) (*Switch, error) {
 	s.alloc = packet.NewAllocator()
 	s.order = packet.NewOrderChecker()
 	s.metrics.CycleTime = cfg.Format.CycleTime()
+	s.metrics.SrcOffered = make([]uint64, cfg.N)
+	s.metrics.SrcDelivered = make([]uint64, cfg.N)
 	s.words = (cfg.N + 63) / 64
 	s.rowBits = make([]uint64, cfg.N*s.words)
 	s.colBits = make([]uint64, cfg.N*s.words)
@@ -543,6 +585,7 @@ func (s *Switch) Step(arrivals []*packet.Cell) {
 		c.Injected = now
 		if s.measuring {
 			s.metrics.Offered++
+			s.metrics.SrcOffered[in]++
 			s.epoch.offered++
 		}
 		if s.cfg.IdealOQ {
@@ -637,6 +680,7 @@ func (s *Switch) Step(arrivals []*packet.Cell) {
 		}
 		if s.measuring {
 			s.metrics.Delivered++
+			s.metrics.SrcDelivered[c.Src]++
 			s.metrics.Latency.Add(c.Delivered - c.Created)
 			s.epoch.delivered++
 			s.epoch.lat.Add(c.Delivered - c.Created)

@@ -1,0 +1,77 @@
+package crossbar
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func TestServiceFairnessMath(t *testing.T) {
+	// Equal service ratios -> exactly 1, regardless of magnitude.
+	m := &Metrics{
+		SrcOffered:   []uint64{100, 200, 50, 0},
+		SrcDelivered: []uint64{50, 100, 25, 0},
+	}
+	if got := m.ServiceFairness(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal ratios: %v want 1", got)
+	}
+	// One of two active sources fully starved -> 1/2.
+	m = &Metrics{
+		SrcOffered:   []uint64{100, 100},
+		SrcDelivered: []uint64{100, 0},
+	}
+	if got := m.ServiceFairness(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("starved source: %v want 0.5", got)
+	}
+	// Idle switch: vacuously fair.
+	if got := (&Metrics{SrcOffered: []uint64{0, 0}}).ServiceFairness(); got != 1 {
+		t.Errorf("idle: %v want 1", got)
+	}
+}
+
+func TestMergeSrcCounters(t *testing.T) {
+	a := &Metrics{SrcOffered: []uint64{1, 2}, SrcDelivered: []uint64{1, 1}}
+	b := &Metrics{SrcOffered: []uint64{10, 20}, SrcDelivered: []uint64{5, 5}}
+	merged := &Metrics{} // nil slices, as Replicate starts from
+	merged.Merge(a)
+	merged.Merge(b)
+	for i, want := range []uint64{11, 22} {
+		if merged.SrcOffered[i] != want {
+			t.Errorf("offered[%d] = %d want %d", i, merged.SrcOffered[i], want)
+		}
+	}
+	for i, want := range []uint64{6, 6} {
+		if merged.SrcDelivered[i] != want {
+			t.Errorf("delivered[%d] = %d want %d", i, merged.SrcDelivered[i], want)
+		}
+	}
+}
+
+// TestServiceFairnessUniform: a subcritical uniform workload on the
+// default scheduler must serve all sources near-equally.
+func TestServiceFairnessUniform(t *testing.T) {
+	sw, err := New(Config{N: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := traffic.Build(traffic.Config{Kind: traffic.KindUniform, N: 16, Load: 0.6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sw.Run(gens, 500, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ServiceFairness(); got < 0.99 {
+		t.Errorf("uniform fairness %v, want >= 0.99", got)
+	}
+	var off, del uint64
+	for i := range m.SrcOffered {
+		off += m.SrcOffered[i]
+		del += m.SrcDelivered[i]
+	}
+	if off != m.Offered || del != m.Delivered {
+		t.Errorf("per-source counters (%d/%d) disagree with totals (%d/%d)", off, del, m.Offered, m.Delivered)
+	}
+}

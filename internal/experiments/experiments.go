@@ -140,7 +140,7 @@ var registry = map[string]Experiment{}
 // ablations. Unlisted experiments sort after these by ID.
 var canonical = []string{
 	"table1", "fig1", "fig2", "fig4", "fig6", "fig7", "fig10",
-	"stages", "stages-sim", "power", "scaling", "snf", "guard", "tech", "fec", "bvn", "container", "deflect", "control-rtt", "faults",
+	"stages", "stages-sim", "power", "scaling", "snf", "guard", "tech", "fec", "bvn", "container", "deflect", "control-rtt", "faults", "workloads",
 	"ablation-flppr-k", "ablation-islip-iters", "ablation-receivers", "ablation-credits", "ablation-interleave",
 }
 

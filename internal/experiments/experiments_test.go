@@ -108,7 +108,7 @@ func TestSimulationExperimentsReproduceQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiments are slow")
 	}
-	for _, id := range []string{"fig2", "fig4", "fig6", "fig7", "bvn", "stages-sim", "container", "deflect", "control-rtt", "faults"} {
+	for _, id := range []string{"fig2", "fig4", "fig6", "fig7", "bvn", "stages-sim", "container", "deflect", "control-rtt", "faults", "workloads"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)

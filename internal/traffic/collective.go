@@ -1,0 +1,200 @@
+// Fan-in storms and synthetic collective phase schedules: the traffic
+// an AI training cluster presents to the fabric. The collectives are
+// slotted destination sequences — the mapping slot -> (active?, dst) is
+// a pure deterministic function of the schedule; randomness (where any)
+// only thins emissions to hit the configured load.
+
+package traffic
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// Incast is the fan-in storm: in each epoch a rotating victim port is
+// bombarded by the Fanin ports cyclically following it, each offering
+// Bernoulli(Load) toward the victim, while every other port idles. The
+// victim rotates deterministically (epoch e targets port e mod N), so a
+// run covering N epochs storms every port once. Load is the offered
+// load per *storm* port while it is storming; the long-run per-port
+// average is Load*Fanin/N.
+type Incast struct {
+	N          int
+	Fanin      int    // storm senders per epoch, in [1, N-1]
+	EpochSlots uint64 // epoch length in slots
+	Load       float64
+	Src        int
+	RNG        *sim.RNG
+}
+
+// NewIncast builds a fan-in storm source for one port.
+func NewIncast(src, n, fanin int, epochSlots uint64, load float64, rng *sim.RNG) *Incast {
+	return &Incast{N: n, Fanin: fanin, EpochSlots: epochSlots, Load: load, Src: src, RNG: rng}
+}
+
+// Victim reports the storm target of the epoch containing slot.
+func (g *Incast) Victim(slot uint64) int {
+	return int((slot / g.EpochSlots) % uint64(g.N))
+}
+
+// Next implements Generator.
+func (g *Incast) Next(slot uint64) (Arrival, bool) {
+	victim := g.Victim(slot)
+	d := g.Src - victim
+	if d < 0 {
+		d += g.N
+	}
+	// Storm senders are the Fanin ports cyclically following the victim;
+	// d == 0 is the victim itself, which never self-targets.
+	if d == 0 || d > g.Fanin {
+		return Arrival{}, false
+	}
+	if !g.RNG.Bernoulli(g.Load) {
+		return Arrival{}, false
+	}
+	return Arrival{Dst: victim}, true
+}
+
+// AllToAll is the classic phased all-to-all exchange: time is divided
+// into N-1 phases of PhaseSlots slots, and in phase p every port i
+// targets (i + 1 + p) mod N — a perfect permutation per phase, rotating
+// through every possible partner. Emissions are Bernoulli(Load) toward
+// the phase's fixed destination.
+type AllToAll struct {
+	N          int
+	PhaseSlots uint64
+	Load       float64
+	Src        int
+	RNG        *sim.RNG
+}
+
+// NewAllToAll builds a phased all-to-all source for one port.
+func NewAllToAll(src, n int, phaseSlots uint64, load float64, rng *sim.RNG) *AllToAll {
+	return &AllToAll{N: n, PhaseSlots: phaseSlots, Load: load, Src: src, RNG: rng}
+}
+
+// DstAt reports the deterministic destination of the phase containing
+// slot.
+func (g *AllToAll) DstAt(slot uint64) int {
+	phase := int((slot / g.PhaseSlots) % uint64(g.N-1))
+	return (g.Src + 1 + phase) % g.N
+}
+
+// Next implements Generator.
+func (g *AllToAll) Next(slot uint64) (Arrival, bool) {
+	if !g.RNG.Bernoulli(g.Load) {
+		return Arrival{}, false
+	}
+	return Arrival{Dst: g.DstAt(slot)}, true
+}
+
+// RingAllReduce models the bandwidth-optimal ring all-reduce: every
+// port streams chunks to its ring successor (src+1 mod N) at full rate
+// for ChunkSlots slots, then idles for GapSlots slots while the
+// (synchronous) step barrier completes. The generator is fully
+// deterministic — no RNG — and all ports burst in lockstep, which is
+// exactly the synchronized on/off cadence a data-parallel training step
+// presents. Realized load is ChunkSlots/(ChunkSlots+GapSlots).
+type RingAllReduce struct {
+	N          int
+	ChunkSlots uint64
+	GapSlots   uint64
+	Src        int
+}
+
+// NewRingAllReduce builds a ring all-reduce source for one port: chunk
+// length chunkSlots, gap derived from the target load (load <= 0 yields
+// a silent source).
+func NewRingAllReduce(src, n int, chunkSlots uint64, load float64) *RingAllReduce {
+	g := &RingAllReduce{N: n, ChunkSlots: chunkSlots, Src: src}
+	switch {
+	case load <= 0:
+		g.ChunkSlots = 0 // never active
+	case load < 1:
+		g.GapSlots = uint64(math.Round(float64(chunkSlots) * (1 - load) / load))
+	}
+	return g
+}
+
+// Next implements Generator.
+func (g *RingAllReduce) Next(slot uint64) (Arrival, bool) {
+	if g.ChunkSlots == 0 {
+		return Arrival{}, false
+	}
+	if pos := slot % (g.ChunkSlots + g.GapSlots); pos >= g.ChunkSlots {
+		return Arrival{}, false
+	}
+	return Arrival{Dst: (g.Src + 1) % g.N}, true
+}
+
+// treeLevel reports the level of node i in the implicit binary tree
+// rooted at port 0 (root is level 0; children of i are 2i+1 and 2i+2).
+func treeLevel(i int) int {
+	return bits.Len(uint(i)+1) - 1
+}
+
+// TreeAllReduce models a binary-tree all-reduce: a reduce sweep where
+// each tree level sends partial sums to its parents (deepest level
+// first), then a broadcast sweep where parents push the result back
+// down (root first). Each of the 2*depth steps lasts PhaseSlots slots;
+// a port emits Bernoulli(Load) toward its parent (reduce) or alternates
+// between its children by slot parity (broadcast) while its level is
+// active, and idles otherwise. The root is the hotspot of the reduce
+// sweep's final step — the hierarchical fan-in collectives are known
+// for.
+type TreeAllReduce struct {
+	N          int
+	PhaseSlots uint64
+	Load       float64
+	Src        int
+	RNG        *sim.RNG
+
+	level int
+	depth int // deepest level in the tree (>= 1 for N >= 2)
+}
+
+// NewTreeAllReduce builds a binary-tree all-reduce source for one port.
+func NewTreeAllReduce(src, n int, phaseSlots uint64, load float64, rng *sim.RNG) *TreeAllReduce {
+	return &TreeAllReduce{
+		N: n, PhaseSlots: phaseSlots, Load: load, Src: src, RNG: rng,
+		level: treeLevel(src),
+		depth: treeLevel(n - 1),
+	}
+}
+
+// DstAt reports the destination for slot, and whether this port is
+// active in the step containing it.
+func (g *TreeAllReduce) DstAt(slot uint64) (int, bool) {
+	step := int((slot / g.PhaseSlots) % uint64(2*g.depth))
+	if step < g.depth {
+		// Reduce sweep: step s activates level depth-s, sending up.
+		if g.level != g.depth-step || g.Src == 0 {
+			return 0, false
+		}
+		return (g.Src - 1) / 2, true
+	}
+	// Broadcast sweep: step depth+s activates level s, sending down,
+	// alternating children by slot parity (or the only existing child).
+	if g.level != step-g.depth {
+		return 0, false
+	}
+	left, right := 2*g.Src+1, 2*g.Src+2
+	if left >= g.N {
+		return 0, false // leaf in the broadcast sweep: nothing below
+	}
+	if right >= g.N || slot%2 == 0 {
+		return left, true
+	}
+	return right, true
+}
+
+// Next implements Generator.
+func (g *TreeAllReduce) Next(slot uint64) (Arrival, bool) {
+	dst, active := g.DstAt(slot)
+	if !active || !g.RNG.Bernoulli(g.Load) {
+		return Arrival{}, false
+	}
+	return Arrival{Dst: dst}, true
+}

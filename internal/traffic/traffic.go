@@ -1,17 +1,29 @@
-// Package traffic provides the synthetic workload generators used in the
-// paper's delay-versus-throughput studies: Bernoulli uniform arrivals,
-// bursty on/off sources, hotspot and permutation destination patterns,
-// and the bimodal control/data mix the requirements table assumes.
+// Package traffic is the workload library for the fabric simulations:
+// the synthetic sources the paper's delay-versus-throughput studies use
+// (Bernoulli uniform arrivals, bursty on/off sources, hotspot and
+// permutation destination patterns, the bimodal control/data mix of the
+// requirements table), plus the HPC/AI stress battery layered on top —
+// incast/fan-in storms, Markov-modulated and Pareto heavy-tail sources,
+// and synthetic collective phase schedules (all-to-all, ring and tree
+// all-reduce) of the kind an AI training cluster presents. A versioned
+// trace format (see Trace) records any generated workload so it reruns
+// bit-exactly from a file.
 //
 // Generators are slotted: each ingress port is asked once per packet
 // cycle whether a cell arrived and, if so, for which destination and
 // class. All randomness comes from seeded per-port sim.RNG streams, so
 // workloads are reproducible and independent across ports.
+//
+// Load accounting contract: a generator built for offered load L
+// realizes L cells/slot/port in long-run expectation (for incast and
+// the collectives, L is the load while a port is active; see their
+// docs). No generator emits self-traffic (Dst == Src), with one
+// deliberate exception: Diagonal targets output src by definition — a
+// crossbar stress pattern where output i is a distinct egress adapter,
+// not the source host.
 package traffic
 
 import (
-	"fmt"
-
 	"repro/internal/sim"
 )
 
@@ -40,7 +52,7 @@ type Generator interface {
 
 // Pattern chooses a destination for a given source at a given slot.
 type Pattern interface {
-	// Pick returns a destination port in [0, N).
+	// Pick returns a destination port in [0, N), never src itself.
 	Pick(src int, slot uint64, rng *sim.RNG) int
 }
 
@@ -62,7 +74,9 @@ func (u Uniform) Pick(src int, _ uint64, rng *sim.RNG) int {
 
 // Hotspot sends a fraction of traffic to one hot output and spreads the
 // remainder uniformly. It models the overload scenarios used to exercise
-// flow control (§IV.B).
+// flow control (§IV.B). The hot port itself never aims at Hot: its
+// traffic is entirely uniform over the other ports, honouring the
+// package-wide no-self-traffic contract.
 type Hotspot struct {
 	N        int
 	Hot      int
@@ -71,7 +85,7 @@ type Hotspot struct {
 
 // Pick implements Pattern.
 func (h Hotspot) Pick(src int, slot uint64, rng *sim.RNG) int {
-	if rng.Bernoulli(h.Fraction) {
+	if src != h.Hot && rng.Bernoulli(h.Fraction) {
 		return h.Hot
 	}
 	return Uniform{h.N}.Pick(src, slot, rng)
@@ -158,8 +172,12 @@ func (b *Bernoulli) Next(slot uint64) (Arrival, bool) {
 
 // OnOff is a two-state Markov-modulated source producing the bursty
 // traffic of the Data Vortex comparison literature: in the ON state it
-// emits a cell every slot toward a burst-constant destination; state
-// dwell times are geometric with the given mean burst and idle lengths.
+// emits a cell every slot toward a burst-constant destination. ON dwell
+// times are 1 + Geometric draws with mean MeanBurst; OFF dwell times are
+// Geometric with mean meanIdle() and support {0, 1, ...} — a zero-length
+// OFF draw flips straight back ON (two bursts coalesce), which is what
+// lets the long-run load match Load exactly even when the configured
+// load forces a mean idle below one slot.
 type OnOff struct {
 	MeanBurst    float64 // mean ON duration in slots (>= 1)
 	Load         float64 // long-run offered load in cells/slot
@@ -215,7 +233,11 @@ func (o *OnOff) Next(slot uint64) (Arrival, bool) {
 				o.burstDst = o.Pattern.Pick(o.Src, slot, o.RNG)
 				break
 			}
-			o.remaining = 1 + o.RNG.Geometric(1/(1+mi))
+			// Geometric with success probability 1/(1+mi) has mean mi
+			// over support {0, 1, ...}: the dwell the load equation
+			// asks for. (The old draw added a constant extra slot —
+			// mean mi+1 — so a 0.95-load source realized only ~0.90.)
+			o.remaining = o.RNG.Geometric(1 / (1 + mi))
 		}
 	}
 	o.remaining--
@@ -232,10 +254,17 @@ func (o *OnOff) Next(slot uint64) (Arrival, bool) {
 // Bimodal mixes the paper's two traffic modes explicitly: control cells
 // arrive as a low-rate Bernoulli process while data cells arrive as a
 // (possibly bursty) bulk process. Control cells win ties in the same
-// slot, mirroring strict fabric priority.
+// slot, mirroring strict fabric priority; the displaced data cell is
+// not lost — it waits in a FIFO and goes out on the next control-free
+// slot, so the offered data load matches the configured data load.
 type Bimodal struct {
 	Control *Bernoulli
 	Data    Generator
+
+	// pending holds data arrivals displaced by same-slot control wins,
+	// oldest first (head-indexed so steady-state pops do not shift).
+	pending []Arrival
+	head    int
 }
 
 // NewBimodal builds a bimodal source: dataLoad bulk data plus ctlLoad
@@ -249,117 +278,38 @@ func NewBimodal(src, n int, dataLoad, ctlLoad float64, rng *sim.RNG) *Bimodal {
 	}
 }
 
-// Next implements Generator.
+// Pending reports how many displaced data cells are waiting for a
+// control-free slot.
+func (b *Bimodal) Pending() int { return len(b.pending) - b.head }
+
+func (b *Bimodal) push(a Arrival) {
+	b.pending = append(b.pending, a)
+}
+
+func (b *Bimodal) pop() (Arrival, bool) {
+	if b.head == len(b.pending) {
+		return Arrival{}, false
+	}
+	a := b.pending[b.head]
+	b.head++
+	if b.head == len(b.pending) {
+		b.pending = b.pending[:0]
+		b.head = 0
+	}
+	return a, true
+}
+
+// Next implements Generator. Both sub-processes are sampled every slot
+// (so their RNG streams advance independently of who wins); data
+// arrivals pass through the pending FIFO, which preserves their order
+// and defers them past slots a control cell claims.
 func (b *Bimodal) Next(slot uint64) (Arrival, bool) {
-	if a, ok := b.Control.Next(slot); ok {
-		return a, true
+	ctl, ctlOK := b.Control.Next(slot)
+	if data, ok := b.Data.Next(slot); ok {
+		b.push(data)
 	}
-	return b.Data.Next(slot)
-}
-
-// Config names a workload so experiment harnesses can build per-port
-// generator sets uniformly.
-type Config struct {
-	Kind         Kind
-	N            int     // port count
-	Load         float64 // offered load per port, cells/slot
-	ControlShare float64 // fraction of control cells (Bernoulli kinds)
-	MeanBurst    float64 // OnOff mean burst length in slots
-	HotFraction  float64 // Hotspot fraction
-	HotPort      int
-	Shift        int // Shift permutation distance
-	Seed         uint64
-}
-
-// Kind enumerates the built-in workload families.
-type Kind uint8
-
-// Workload families.
-const (
-	KindUniform Kind = iota
-	KindBursty
-	KindHotspot
-	KindPermutation
-	KindDiagonal
-	KindBimodal
-)
-
-// String names the workload kind.
-func (k Kind) String() string {
-	switch k {
-	case KindUniform:
-		return "uniform"
-	case KindBursty:
-		return "bursty"
-	case KindHotspot:
-		return "hotspot"
-	case KindPermutation:
-		return "permutation"
-	case KindDiagonal:
-		return "diagonal"
-	case KindBimodal:
-		return "bimodal"
-	default:
-		return fmt.Sprintf("Kind(%d)", uint8(k))
+	if ctlOK {
+		return ctl, true
 	}
-}
-
-// Build constructs one generator per port for the named workload.
-func Build(cfg Config) ([]Generator, error) {
-	if cfg.N <= 0 {
-		return nil, fmt.Errorf("traffic: invalid port count %d", cfg.N)
-	}
-	if cfg.Load < 0 || cfg.Load > 1 {
-		return nil, fmt.Errorf("traffic: load %v out of [0,1]", cfg.Load)
-	}
-	root := sim.NewRNG(cfg.Seed)
-	gens := make([]Generator, cfg.N)
-	var perm Permutation
-	if cfg.Kind == KindPermutation {
-		if cfg.Shift != 0 {
-			perm = NewShiftPermutation(cfg.N, cfg.Shift)
-		} else {
-			perm = NewRandomPermutation(cfg.N, root.Fork(9999))
-		}
-	}
-	for i := 0; i < cfg.N; i++ {
-		rng := root.Fork(uint64(i) + 1)
-		switch cfg.Kind {
-		case KindUniform:
-			b := NewBernoulli(i, cfg.N, cfg.Load, rng)
-			b.ControlShare = cfg.ControlShare
-			gens[i] = b
-		case KindBursty:
-			mb := cfg.MeanBurst
-			if mb == 0 {
-				mb = 16
-			}
-			gens[i] = NewOnOff(i, cfg.N, cfg.Load, mb, rng)
-		case KindHotspot:
-			b := NewBernoulli(i, cfg.N, cfg.Load, rng)
-			frac := cfg.HotFraction
-			if frac == 0 {
-				frac = 0.5
-			}
-			b.Pattern = Hotspot{N: cfg.N, Hot: cfg.HotPort, Fraction: frac}
-			gens[i] = b
-		case KindPermutation:
-			b := NewBernoulli(i, cfg.N, cfg.Load, rng)
-			b.Pattern = perm
-			gens[i] = b
-		case KindDiagonal:
-			b := NewBernoulli(i, cfg.N, cfg.Load, rng)
-			b.Pattern = Diagonal{cfg.N}
-			gens[i] = b
-		case KindBimodal:
-			cs := cfg.ControlShare
-			if cs == 0 {
-				cs = 0.05
-			}
-			gens[i] = NewBimodal(i, cfg.N, cfg.Load*(1-cs), cfg.Load*cs, rng)
-		default:
-			return nil, fmt.Errorf("traffic: unknown kind %v", cfg.Kind)
-		}
-	}
-	return gens, nil
+	return b.pop()
 }
