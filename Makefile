@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race lint bench verify
+.PHONY: build vet test race lint bench verify daemon-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ lint:
 BENCHTIME ?=
 bench:
 	$(GO) test -run '^$$' -bench . $(if $(BENCHTIME),-benchtime $(BENCHTIME)) -benchmem ./internal/sched/ ./internal/crossbar/ ./internal/fabric/ ./internal/analysis/
+
+# End-to-end osmosisd acceptance: uninterrupted reference run, then a
+# checkpoint/kill/restore run of the same two concurrent jobs; the final
+# result documents must compare byte-identical. CI runs this as its own
+# job; it is not part of `make verify` (it takes ~1-2 minutes).
+daemon-smoke:
+	./scripts/daemon_smoke.sh
 
 verify: build vet test lint
 	@echo "verify: OK"

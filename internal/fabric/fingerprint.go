@@ -1,0 +1,44 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Fingerprint renders every metric bit-exactly (floats in hexadecimal
+// significand form) so two runs can be compared byte-for-byte. Two
+// fabrics driven by the same configuration and traffic produce the same
+// fingerprint at any shard count, and a run restored from a checkpoint
+// reproduces its uninterrupted twin's fingerprint exactly — this string
+// is the determinism contract the golden tests and the osmosisd service
+// check against.
+func (m *Metrics) Fingerprint() string {
+	hex := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	sample := func(s *stats.LatencySample) string {
+		if s.N() == 0 {
+			return "empty"
+		}
+		return fmt.Sprintf("n=%d mean=%s sd=%s min=%s max=%s p50=%s p99=%s",
+			s.N(), hex(float64(s.Mean())), hex(s.StdDev()),
+			hex(float64(s.Min())), hex(float64(s.Max())),
+			hex(float64(s.Quantile(0.5))), hex(float64(s.Quantile(0.99))))
+	}
+	hops := make([]int, 0, len(m.HopHistogram))
+	for h := range m.HopHistogram {
+		hops = append(hops, h)
+	}
+	sort.Ints(hops)
+	var hist strings.Builder
+	for _, h := range hops {
+		fmt.Fprintf(&hist, " %d:%d", h, m.HopHistogram[h])
+	}
+	return fmt.Sprintf(
+		"offered=%d delivered=%d slots=%d lat[%s] ctl[%s] hops[%s] viol=%d drop=%d fcblk=%d maxvoq=%d maxin=%d",
+		m.Offered, m.Delivered, m.MeasureSlots,
+		sample(&m.LatencySlots), sample(&m.ControlLatencySlots), hist.String(),
+		m.OrderViolations, m.Dropped, m.FCBlocked, m.MaxVOQDepth, m.MaxInterInputDepth)
+}

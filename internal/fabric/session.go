@@ -1,0 +1,222 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ckpt"
+	"repro/internal/traffic"
+)
+
+// Session is an incrementally drivable fabric run: the same warm-up plus
+// measurement experiment Run and RunParallel execute in one call, but
+// advanced in caller-sized steps with checkpoint/restore at every pause.
+//
+// Determinism contract: a Session produces byte-identical metrics (see
+// Metrics.Fingerprint) to Run and RunParallel regardless of how Advance
+// calls partition the timeline, because shards only interact at window
+// barriers and Advance only pauses at barriers — the pause points change
+// the execution schedule, never the state. A Session saved at slot T and
+// resumed on a fresh fabric (at any shard count) finishes with the same
+// fingerprint as its uninterrupted twin.
+type Session struct {
+	f    *Fabric
+	gens []traffic.Generator
+	inj  *injectPlan
+
+	base            uint64 // fabric slot when the session started
+	warmup, measure uint64
+	end             uint64 // absolute slot where the run completes
+	finished        bool
+}
+
+// StartSession begins a warm-up + measurement run on f, mirroring
+// RunParallel's prologue. Every generator must be checkpointable
+// (implement traffic.StateCodec) for Save to work; this is verified at
+// save time, not here, so non-checkpointable sessions can still run.
+func StartSession(f *Fabric, gens []traffic.Generator, warmup, measure uint64) (*Session, error) {
+	if len(gens) != f.cfg.Hosts {
+		return nil, fmt.Errorf("fabric: %d generators for %d hosts", len(gens), f.cfg.Hosts)
+	}
+	s := &Session{
+		f:       f,
+		gens:    gens,
+		base:    f.slot,
+		warmup:  warmup,
+		measure: measure,
+		end:     f.slot + warmup + measure,
+	}
+	if measure > 0 {
+		f.measureSet = true
+		f.measureFrom = s.base + warmup
+		f.metrics.MeasureSlots = measure
+	}
+	s.inj = &injectPlan{gens: gens, until: s.end}
+	if s.end == s.base {
+		s.finish()
+	}
+	return s, nil
+}
+
+// finish applies RunParallel's epilogue: leave the measuring flag where
+// serial Run would, so later Drain deliveries still count.
+func (s *Session) finish() {
+	if s.measure > 0 {
+		s.f.measuring = true
+	}
+	s.f.measureSet = false
+	s.finished = true
+}
+
+// Advance drives the run forward by at most maxSlots packet cycles,
+// pausing at the first window barrier at or past the budget. It reports
+// whether the run has completed its warm-up + measurement timeline.
+func (s *Session) Advance(maxSlots uint64) (bool, error) {
+	if s.finished {
+		return true, nil
+	}
+	window := uint64(s.f.cfg.LinkDelaySlots + 1)
+	for maxSlots > 0 && s.f.slot < s.end {
+		n := window
+		if rem := s.end - s.f.slot; rem < n {
+			n = rem
+		}
+		if maxSlots < n {
+			n = maxSlots
+		}
+		if err := s.f.runWindow(int(n), s.inj); err != nil {
+			return false, err
+		}
+		maxSlots -= n
+	}
+	if s.f.slot >= s.end {
+		s.finish()
+	}
+	return s.finished, nil
+}
+
+// Done reports whether the session's timeline has completed.
+func (s *Session) Done() bool { return s.finished }
+
+// Slot reports the fabric clock.
+func (s *Session) Slot() uint64 { return s.f.slot }
+
+// Fabric exposes the driven fabric (for Drain and inspection).
+func (s *Session) Fabric() *Fabric { return s.f }
+
+// Metrics exposes the run's measurements.
+func (s *Session) Metrics() *Metrics { return s.f.Metrics() }
+
+// Save writes a complete osmosis-ckpt v1 snapshot of the session — the
+// fabric state plus every traffic generator and the session timeline —
+// to w. Only legal at a barrier, which is wherever Advance pauses.
+func (s *Session) Save(w io.Writer) error {
+	e := ckpt.NewEncoder(w)
+	s.SaveState(e)
+	return e.Close()
+}
+
+// SaveState writes the session snapshot as a "session" section on an
+// open encoder, so embedding formats (the osmosisd job checkpoint) can
+// wrap it in their own framing. Save is the standalone form.
+func (s *Session) SaveState(e *ckpt.Encoder) {
+	e.Begin("session")
+	e.Put("run", ckpt.Uint(s.base), ckpt.Uint(s.warmup), ckpt.Uint(s.measure),
+		ckpt.Bool(s.finished))
+	s.f.SaveState(e)
+	e.Begin("gens")
+	e.Put("ngens", ckpt.Uint(uint64(len(s.gens))))
+	for h, g := range s.gens {
+		codec, ok := g.(traffic.StateCodec)
+		if !ok {
+			e.Fail(fmt.Errorf("fabric: host %d generator %T is not checkpointable", h, g))
+			break
+		}
+		codec.SaveState(e)
+	}
+	e.End("gens")
+	e.End("session")
+}
+
+// ResumeSession restores a Save snapshot onto a freshly built fabric of
+// the same configuration (any shard count) and freshly built generators
+// of the same traffic configuration, returning a session that continues
+// the saved run bit-exactly.
+func ResumeSession(f *Fabric, gens []traffic.Generator, r io.Reader) (*Session, error) {
+	d, err := ckpt.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ResumeSessionState(f, gens, d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ResumeSessionState reads a "session" section from an open decoder —
+// the counterpart of SaveState for embedding formats. The caller owns
+// the decoder's trailer (Close) and any surrounding framing.
+func ResumeSessionState(f *Fabric, gens []traffic.Generator, d *ckpt.Decoder) (*Session, error) {
+	if len(gens) != f.cfg.Hosts {
+		return nil, fmt.Errorf("fabric: %d generators for %d hosts", len(gens), f.cfg.Hosts)
+	}
+	if err := d.Begin("session"); err != nil {
+		return nil, err
+	}
+	rr := d.Record("run")
+	base, warmup, measure := rr.Uint(), rr.Uint(), rr.Uint()
+	finished := rr.Bool()
+	if err := rr.Done(); err != nil {
+		return nil, err
+	}
+	if err := f.LoadState(d); err != nil {
+		return nil, err
+	}
+	if err := d.Begin("gens"); err != nil {
+		return nil, err
+	}
+	nr := d.Record("ngens")
+	ngens := nr.Uint()
+	if err := nr.Done(); err != nil {
+		return nil, err
+	}
+	if int(ngens) != len(gens) {
+		return nil, fmt.Errorf("fabric: checkpoint carries %d generators, fabric has %d hosts", ngens, len(gens))
+	}
+	for h, g := range gens {
+		codec, ok := g.(traffic.StateCodec)
+		if !ok {
+			return nil, fmt.Errorf("fabric: host %d generator %T is not checkpointable", h, g)
+		}
+		if err := codec.LoadState(d); err != nil {
+			return nil, fmt.Errorf("fabric: host %d generator: %w", h, err)
+		}
+	}
+	if err := d.End("gens"); err != nil {
+		return nil, err
+	}
+	if err := d.End("session"); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		f:        f,
+		gens:     gens,
+		base:     base,
+		warmup:   warmup,
+		measure:  measure,
+		end:      base + warmup + measure,
+		finished: finished,
+	}
+	if f.slot < base || f.slot > s.end {
+		return nil, fmt.Errorf("fabric: restored clock %d outside session timeline [%d, %d]", f.slot, base, s.end)
+	}
+	if !finished && f.slot >= s.end {
+		return nil, fmt.Errorf("fabric: restored clock %d at timeline end but session not finished", f.slot)
+	}
+	s.inj = &injectPlan{gens: gens, until: s.end}
+	return s, nil
+}

@@ -2,14 +2,11 @@ package fabric
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
 	"testing"
 
 	"repro/internal/fc"
 	"repro/internal/packet"
 	"repro/internal/sched"
-	"repro/internal/stats"
 	"repro/internal/traffic"
 	"repro/internal/units"
 )
@@ -247,35 +244,6 @@ func TestStepZeroAllocsSteadyState(t *testing.T) {
 
 // --- golden determinism across shard counts --------------------------
 
-// metricsFingerprint renders every metric bit-exactly (floats in hex) so
-// byte comparison is meaningful.
-func metricsFingerprint(m *Metrics) string {
-	hex := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
-	sample := func(s *stats.LatencySample) string {
-		if s.N() == 0 {
-			return "empty"
-		}
-		return fmt.Sprintf("n=%d mean=%s sd=%s min=%s max=%s p50=%s p99=%s",
-			s.N(), hex(float64(s.Mean())), hex(s.StdDev()),
-			hex(float64(s.Min())), hex(float64(s.Max())),
-			hex(float64(s.Quantile(0.5))), hex(float64(s.Quantile(0.99))))
-	}
-	hops := make([]int, 0, len(m.HopHistogram))
-	for h := range m.HopHistogram {
-		hops = append(hops, h)
-	}
-	sort.Ints(hops)
-	hist := ""
-	for _, h := range hops {
-		hist += fmt.Sprintf(" %d:%d", h, m.HopHistogram[h])
-	}
-	return fmt.Sprintf(
-		"offered=%d delivered=%d slots=%d lat[%s] ctl[%s] hops[%s] viol=%d drop=%d fcblk=%d maxvoq=%d maxin=%d",
-		m.Offered, m.Delivered, m.MeasureSlots,
-		sample(&m.LatencySlots), sample(&m.ControlLatencySlots), hist,
-		m.OrderViolations, m.Dropped, m.FCBlocked, m.MaxVOQDepth, m.MaxInterInputDepth)
-}
-
 // runSharded builds the fabric, runs it (serial reference Run when
 // shards == 0, RunParallel otherwise), drains, and fingerprints.
 func runSharded(t *testing.T, cfg Config, tcfg traffic.Config, shards int, warmup, measure uint64) (string, *Metrics, *Fabric) {
@@ -305,7 +273,7 @@ func runSharded(t *testing.T, cfg Config, tcfg traffic.Config, shards int, warmu
 	if !drained {
 		t.Fatal("failed to drain")
 	}
-	return metricsFingerprint(m), m, f
+	return m.Fingerprint(), m, f
 }
 
 // TestGoldenDeterminism2048Ports is the acceptance run: the paper-scale

@@ -1,0 +1,224 @@
+// Checkpoint codecs for the packet layer: cells in flight, the shared
+// allocator's identity counters, and the order checker's per-flow
+// bookkeeping. Everything a restored run needs to keep handing out the
+// same IDs and sequence numbers — and to keep judging delivery order the
+// same way — as its uninterrupted twin.
+package packet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ckpt"
+	"repro/internal/units"
+)
+
+// SaveCell writes one cell as a "cell" record. Cells carrying payload
+// bytes are not checkpointable (performance simulations leave Payload
+// nil); encountering one poisons the encode.
+func SaveCell(e *ckpt.Encoder, c *Cell) {
+	if c.Payload != nil {
+		e.Fail(fmt.Errorf("packet: cell %d carries %d payload bytes; payload cells are not checkpointable", c.ID, len(c.Payload)))
+		return
+	}
+	e.Put("cell",
+		ckpt.Uint(c.ID), ckpt.Int(int64(c.Src)), ckpt.Int(int64(c.Dst)),
+		ckpt.Uint(uint64(c.Class)), ckpt.Uint(c.Seq),
+		ckpt.Int(int64(c.Created)), ckpt.Int(int64(c.Injected)), ckpt.Int(int64(c.Delivered)),
+		ckpt.Int(int64(c.Hops)), ckpt.Int(int64(c.Retransmits)))
+}
+
+// LoadCell reads one "cell" record written by SaveCell into a fresh cell.
+func LoadCell(d *ckpt.Decoder) (*Cell, error) {
+	r := d.Record("cell")
+	c := &Cell{
+		ID:  r.Uint(),
+		Src: r.IntAsInt(), Dst: r.IntAsInt(),
+		Class:   Class(r.Uint()),
+		Seq:     r.Uint(),
+		Created: units.Time(r.Int()), Injected: units.Time(r.Int()), Delivered: units.Time(r.Int()),
+		Hops: r.IntAsInt(), Retransmits: r.IntAsInt(),
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if c.Class > Control {
+		return nil, fmt.Errorf("packet: cell %d class %d out of range", c.ID, c.Class)
+	}
+	return c, nil
+}
+
+// sortedFlowKeys returns m's keys in (src, dst, class) order so map
+// serialization is byte-deterministic.
+func sortedFlowKeys[V any](m map[flowKey]V) []flowKey {
+	keys := make([]flowKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.class < b.class
+	})
+	return keys
+}
+
+// SaveState serializes the allocator's identity state: the ID counter
+// and every flow's next sequence number. The free list is deliberately
+// not serialized — recycling affects only which memory backs a cell,
+// never its identity, so a restored allocator that heap-allocates
+// produces the same run.
+func (a *Allocator) SaveState(e *ckpt.Encoder) {
+	e.Put("alloc", ckpt.Uint(a.nextID), ckpt.Uint(uint64(len(a.seq))))
+	for _, k := range sortedFlowKeys(a.seq) {
+		e.Put("flow", ckpt.Int(int64(k.src)), ckpt.Int(int64(k.dst)),
+			ckpt.Uint(uint64(k.class)), ckpt.Uint(a.seq[k]))
+	}
+}
+
+// LoadState restores the allocator's identity state, replacing the
+// current counters.
+func (a *Allocator) LoadState(d *ckpt.Decoder) error {
+	r := d.Record("alloc")
+	nextID, n := r.Uint(), r.Uint()
+	if err := r.Done(); err != nil {
+		return err
+	}
+	seq := make(map[flowKey]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		fr := d.Record("flow")
+		k := flowKey{src: fr.IntAsInt(), dst: fr.IntAsInt(), class: Class(fr.Uint())}
+		v := fr.Uint()
+		if err := fr.Done(); err != nil {
+			return err
+		}
+		if k.class > Control {
+			return fmt.Errorf("packet: alloc flow class %d out of range", k.class)
+		}
+		if _, dup := seq[k]; dup {
+			return fmt.Errorf("packet: alloc flow %d->%d/%d duplicated", k.src, k.dst, k.class)
+		}
+		seq[k] = v
+	}
+	a.nextID = nextID
+	a.seq = seq
+	a.free = a.free[:0]
+	return nil
+}
+
+// SaveMergedState serializes the combined identity state of several
+// allocators as one logical allocator. The fabric engine issues cells
+// from the coordinator's allocator (serial drive) or from per-shard
+// allocators (parallel drive); each flow is only ever ADVANCED by one of
+// them, so taking each flow's maximum counter yields a
+// partition-independent snapshot: the same traffic produces the same
+// merged flow state at any shard count. Maximum (not sum) also makes the
+// merge idempotent across restore cycles — LoadMergedState hands every
+// allocator the full map, and the copies that are never advanced again
+// stay frozen at the checkpointed value, strictly below the live owner's.
+func SaveMergedState(e *ckpt.Encoder, allocs ...*Allocator) {
+	var nextID uint64
+	merged := make(map[flowKey]uint64)
+	for _, a := range allocs {
+		if a.nextID > nextID {
+			nextID = a.nextID
+		}
+		for k, v := range a.seq {
+			if v > merged[k] {
+				merged[k] = v
+			}
+		}
+	}
+	e.Put("alloc", ckpt.Uint(nextID), ckpt.Uint(uint64(len(merged))))
+	for _, k := range sortedFlowKeys(merged) {
+		e.Put("flow", ckpt.Int(int64(k.src)), ckpt.Int(int64(k.dst)),
+			ckpt.Uint(uint64(k.class)), ckpt.Uint(merged[k]))
+	}
+}
+
+// LoadMergedState restores a SaveMergedState snapshot into every target
+// allocator: each receives the full flow map (whichever allocator serves
+// a flow after restore continues its sequence exactly) and an ID counter
+// at the merged maximum, so each allocator's freshly issued IDs never
+// collide with IDs it handed to cells still in flight. IDs themselves
+// are diagnostic — per-flow sequence numbers, which the order checker
+// consumes, are the identity that must continue bit-exactly.
+func LoadMergedState(d *ckpt.Decoder, allocs ...*Allocator) error {
+	r := d.Record("alloc")
+	nextID, n := r.Uint(), r.Uint()
+	if err := r.Done(); err != nil {
+		return err
+	}
+	merged := make(map[flowKey]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		fr := d.Record("flow")
+		k := flowKey{src: fr.IntAsInt(), dst: fr.IntAsInt(), class: Class(fr.Uint())}
+		v := fr.Uint()
+		if err := fr.Done(); err != nil {
+			return err
+		}
+		if k.class > Control {
+			return fmt.Errorf("packet: alloc flow class %d out of range", k.class)
+		}
+		if _, dup := merged[k]; dup {
+			return fmt.Errorf("packet: alloc flow %d->%d/%d duplicated", k.src, k.dst, k.class)
+		}
+		merged[k] = v
+	}
+	for _, a := range allocs {
+		a.nextID = nextID
+		a.seq = make(map[flowKey]uint64, len(merged))
+		for k, v := range merged {
+			a.seq[k] = v
+		}
+		a.free = a.free[:0]
+	}
+	return nil
+}
+
+// SaveState serializes the order checker: totals plus the last sequence
+// number seen per flow.
+func (o *OrderChecker) SaveState(e *ckpt.Encoder) {
+	e.Put("order", ckpt.Uint(o.delivered), ckpt.Uint(o.violations), ckpt.Uint(uint64(len(o.last))))
+	for _, k := range sortedFlowKeys(o.last) {
+		e.Put("oflow", ckpt.Int(int64(k.src)), ckpt.Int(int64(k.dst)),
+			ckpt.Uint(uint64(k.class)), ckpt.Uint(o.last[k]))
+	}
+}
+
+// LoadState restores the order checker, replacing current state.
+func (o *OrderChecker) LoadState(d *ckpt.Decoder) error {
+	r := d.Record("order")
+	delivered, violations, n := r.Uint(), r.Uint(), r.Uint()
+	if err := r.Done(); err != nil {
+		return err
+	}
+	last := make(map[flowKey]uint64, n)
+	seen := make(map[flowKey]bool, n)
+	for i := uint64(0); i < n; i++ {
+		fr := d.Record("oflow")
+		k := flowKey{src: fr.IntAsInt(), dst: fr.IntAsInt(), class: Class(fr.Uint())}
+		v := fr.Uint()
+		if err := fr.Done(); err != nil {
+			return err
+		}
+		if k.class > Control {
+			return fmt.Errorf("packet: order flow class %d out of range", k.class)
+		}
+		if _, dup := last[k]; dup {
+			return fmt.Errorf("packet: order flow %d->%d/%d duplicated", k.src, k.dst, k.class)
+		}
+		last[k] = v
+		seen[k] = true
+	}
+	o.delivered = delivered
+	o.violations = violations
+	o.last = last
+	o.seen = seen
+	return nil
+}

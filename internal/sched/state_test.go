@@ -1,0 +1,135 @@
+package sched
+
+// Checkpoint round-trip suite: every scheduler, checkpointed mid-run and
+// restored into a freshly constructed instance, must continue producing
+// bit-identical matchings (and board commitments) to its uninterrupted
+// twin over a seeded random demand evolution.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/sim"
+)
+
+// copyEqBoard deep-copies the board so the restored scheduler resumes
+// against exactly the demand state the original saw at the checkpoint.
+func copyEqBoard(b *eqBoard) *eqBoard {
+	c := newEqBoard(b.n, b.r)
+	copy(c.recv, b.recv)
+	for i := range b.q {
+		copy(c.q[i], b.q[i])
+		copy(c.committed[i], b.committed[i])
+	}
+	return c
+}
+
+// saveSched checkpoints a scheduler to text.
+func saveSched(t *testing.T, s StateCodec) string {
+	t.Helper()
+	var buf strings.Builder
+	e := ckpt.NewEncoder(&buf)
+	s.SaveState(e)
+	if err := e.Close(); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return buf.String()
+}
+
+// loadSched restores a scheduler from text.
+func loadSched(t *testing.T, s StateCodec, text string) {
+	t.Helper()
+	d, err := ckpt.NewDecoder(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("decoder: %v", err)
+	}
+	if err := s.LoadState(d); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestSchedulerCheckpointRoundTrip(t *testing.T) {
+	const n = 8
+	builders := map[string]func() Scheduler{
+		"flppr":           func() Scheduler { return NewFLPPR(n, 3) },
+		"islip":           func() Scheduler { return NewISLIP(n, 2) },
+		"pim":             func() Scheduler { return NewPIM(n, 2, 99) },
+		"lqf":             func() Scheduler { return NewLQF(n) },
+		"pipelined-islip": func() Scheduler { return NewPipelinedISLIP(n, 3) },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			orig := build()
+			board := newEqBoard(n, 1)
+			arrivals := sim.NewRNG(1234)
+			m := NewMatching(n)
+			for tick := uint64(0); tick < 200; tick++ {
+				board.arrive(arrivals)
+				orig.TickInto(tick, board, &m)
+				board.execute(m, orig.SelfCommits())
+			}
+
+			// Checkpoint mid-run; twin restores into a fresh instance
+			// against a copied board and a forked arrival stream state.
+			text := saveSched(t, orig.(StateCodec))
+			twin := build()
+			loadSched(t, twin.(StateCodec), text)
+			twinBoard := copyEqBoard(board)
+			twinArrivals := sim.NewRNG(1)
+			if err := twinArrivals.Restore(arrivals.State()); err != nil {
+				t.Fatal(err)
+			}
+
+			tm := NewMatching(n)
+			for tick := uint64(200); tick < 400; tick++ {
+				board.arrive(arrivals)
+				twinBoard.arrive(twinArrivals)
+				orig.TickInto(tick, board, &m)
+				twin.TickInto(tick, twinBoard, &tm)
+				if !matchingsEqual(m, tm) {
+					t.Fatalf("tick %d: matchings diverged: %v vs %v", tick, m.Out, tm.Out)
+				}
+				board.execute(m, orig.SelfCommits())
+				twinBoard.execute(tm, twin.SelfCommits())
+				if !boardsEqual(board, twinBoard) {
+					t.Fatalf("tick %d: board state diverged after restore", tick)
+				}
+			}
+		})
+	}
+}
+
+func TestSchedulerCheckpointShapeMismatch(t *testing.T) {
+	text := saveSched(t, NewISLIP(8, 2))
+	d, err := ckpt.NewDecoder(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewISLIP(16, 2).LoadState(d); err == nil {
+		t.Fatal("8-port checkpoint restored into 16-port scheduler")
+	}
+
+	text = saveSched(t, NewFLPPR(8, 3))
+	d, err = ckpt.NewDecoder(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewFLPPR(8, 4).LoadState(d); err == nil {
+		t.Fatal("3-sub FLPPR checkpoint restored into 4-sub scheduler")
+	}
+
+	// A scheduler checkpoint of the wrong kind is rejected by its
+	// section name.
+	text = saveSched(t, NewLQF(8))
+	d, err = ckpt.NewDecoder(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewISLIP(8, 2).LoadState(d); err == nil {
+		t.Fatal("lqf checkpoint restored into islip")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"math/bits"
 )
@@ -56,6 +57,33 @@ func DeriveSeed(base, label uint64) uint64 {
 	_ = splitmix64(&x) // decorrelate adjacent bases before the label lands
 	x ^= label * 0xd1342543de82ef95
 	return splitmix64(&x)
+}
+
+// ErrZeroState rejects a Restore of the all-zero xoshiro state, which is
+// a fixed point of the generator (every draw would be zero forever). No
+// reachable RNG ever holds it — NewRNG guards against it — so an all-zero
+// snapshot can only mean corruption.
+var ErrZeroState = errors.New("sim: RNG restore from all-zero state")
+
+// State returns the raw xoshiro256** state words. Together with Restore
+// it round-trips a generator across a checkpoint: a stream restored from
+// State() continues bit-exactly where the original left off. The state
+// is a snapshot — later draws on r do not affect a previously returned
+// State value.
+func (r *RNG) State() [4]uint64 {
+	return r.s
+}
+
+// Restore overwrites the generator state with a snapshot previously
+// obtained from State. The next draw after Restore equals the draw the
+// snapshotted generator would have produced next. The all-zero state is
+// rejected with ErrZeroState.
+func (r *RNG) Restore(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return ErrZeroState
+	}
+	r.s = s
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -2,14 +2,18 @@
 // fabric simulations: running moments, latency histograms with
 // percentiles, time-weighted occupancy averages, and warm-up trimming.
 //
-// All collectors are single-goroutine by design: the simulation kernel is
-// sequential, so collectors avoid locks entirely.
+// Most collectors are single-goroutine by design: the simulation kernel
+// is sequential, so they avoid locks entirely. The one exception is
+// LatencySample, which is internally synchronized: a long-running service
+// scrapes quantiles from live runs, so its readers must be safe against
+// a concurrent Add on the simulation goroutine.
 package stats
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/units"
 )
@@ -124,24 +128,45 @@ func (r *Running) Reset() { *r = Running{} }
 // LatencySample collects Time observations and reports exact quantiles.
 // It keeps every sample; fabric runs observe at most a few million cells,
 // which is cheap to retain and makes percentile math exact.
+//
+// Samples are retained in insertion order — the order is part of the
+// collector's observable state (checkpoints serialize it) and is never
+// perturbed by reads. Quantile sorts into a reusable scratch buffer
+// instead: after the buffer warms up, quantile reads cost zero
+// allocations. All methods are safe for concurrent use (one internal
+// mutex), so a metrics scrape may read quantiles from a live run while
+// the simulation goroutine is still adding. The one exception is Merge's
+// argument: other must be quiescent for the duration of the call.
 type LatencySample struct {
-	samples []units.Time
-	sorted  bool
+	mu      sync.Mutex
+	samples []units.Time // insertion order, append-only between Resets
 	run     Running
+
+	// scratch is the sorted copy Quantile reads. It is valid iff
+	// scratchGen == gen; every mutation bumps gen. A generation counter
+	// (rather than comparing lengths) stays correct across Reset, where
+	// a later refill could coincidentally match the stale length.
+	scratch    []units.Time
+	gen        uint64
+	scratchGen uint64
 }
 
 // Add records one latency observation.
 func (s *LatencySample) Add(t units.Time) {
+	s.mu.Lock()
 	//lint:ignore hotpath retaining every sample is the collector's contract (exact quantiles); Grow pre-sizes known measurement windows
 	s.samples = append(s.samples, t)
-	s.sorted = false
+	s.gen++
 	s.run.Add(float64(t))
+	s.mu.Unlock()
 }
 
 // Grow pre-sizes the sample buffer for at least n additional
 // observations, so a measurement window of known length can reserve its
 // capacity up front instead of growing the buffer mid-run.
 func (s *LatencySample) Grow(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if n <= 0 || cap(s.samples)-len(s.samples) >= n {
 		return
 	}
@@ -151,10 +176,16 @@ func (s *LatencySample) Grow(n int) {
 }
 
 // N reports the number of observations.
-func (s *LatencySample) N() int { return len(s.samples) }
+func (s *LatencySample) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
 
 // Mean reports the mean latency.
 func (s *LatencySample) Mean() units.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.samples) == 0 {
 		return 0
 	}
@@ -163,33 +194,47 @@ func (s *LatencySample) Mean() units.Time {
 
 // StdDev reports the latency standard deviation in picoseconds, or
 // NaN with fewer than two samples.
-func (s *LatencySample) StdDev() float64 { return s.run.StdDev() }
+func (s *LatencySample) StdDev() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.run.StdDev()
+}
 
 // Quantile reports the q-th (0..1) sample quantile with linear
-// interpolation between order statistics.
+// interpolation between order statistics. The samples themselves are
+// left in insertion order: the sort happens in a reusable scratch
+// buffer, so a read never mutates observable state and costs no
+// allocations once the buffer has grown to the sample count.
 func (s *LatencySample) Quantile(q float64) units.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quantileLocked(q)
+}
+
+func (s *LatencySample) quantileLocked(q float64) units.Time {
 	n := len(s.samples)
 	if n == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
-		s.sorted = true
+	if s.scratchGen != s.gen || len(s.scratch) != n {
+		s.scratch = append(s.scratch[:0], s.samples...)
+		slices.Sort(s.scratch)
+		s.scratchGen = s.gen
 	}
 	if q <= 0 {
-		return s.samples[0]
+		return s.scratch[0]
 	}
 	if q >= 1 {
-		return s.samples[n-1]
+		return s.scratch[n-1]
 	}
 	pos := q * float64(n-1)
 	lo := int(math.Floor(pos))
 	hi := lo + 1
 	if hi >= n {
-		return s.samples[n-1]
+		return s.scratch[n-1]
 	}
 	frac := pos - float64(lo)
-	return s.samples[lo] + units.Time(math.Round(frac*float64(s.samples[hi]-s.samples[lo])))
+	return s.scratch[lo] + units.Time(math.Round(frac*float64(s.scratch[hi]-s.scratch[lo])))
 }
 
 // Median reports the 50th percentile.
@@ -200,6 +245,8 @@ func (s *LatencySample) P99() units.Time { return s.Quantile(0.99) }
 
 // Max reports the largest observation.
 func (s *LatencySample) Max() units.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.samples) == 0 {
 		return 0
 	}
@@ -208,6 +255,8 @@ func (s *LatencySample) Max() units.Time {
 
 // Min reports the smallest observation.
 func (s *LatencySample) Min() units.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.samples) == 0 {
 		return 0
 	}
@@ -217,30 +266,55 @@ func (s *LatencySample) Min() units.Time {
 // Merge folds other's samples into s (parallel-batch combination):
 // after the merge, s reports exactly what one collector that had seen
 // both sample sets would report — quantiles included, since every raw
-// observation is retained. other is left unchanged.
+// observation is retained. other is left unchanged and must not be
+// mutated concurrently with the call (s and other must be distinct).
 func (s *LatencySample) Merge(other *LatencySample) {
-	if other == nil || len(other.samples) == 0 {
+	if other == nil || other == s {
 		return
 	}
-	s.samples = append(s.samples, other.samples...)
-	s.sorted = false
-	s.run.Merge(&other.run)
+	other.mu.Lock()
+	otherSamples := other.samples
+	otherRun := other.run
+	other.mu.Unlock()
+	if len(otherSamples) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.samples = append(s.samples, otherSamples...)
+	s.gen++
+	s.run.Merge(&otherRun)
+	s.mu.Unlock()
+}
+
+// SamplesAppend appends the retained observations, in insertion order,
+// to dst and returns the extended slice. Checkpoint writers use it to
+// serialize the collector's exact state; the returned values are a copy,
+// safe to hold across further Adds.
+func (s *LatencySample) SamplesAppend(dst []units.Time) []units.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append(dst, s.samples...)
 }
 
 // Reset clears all samples.
 func (s *LatencySample) Reset() {
+	s.mu.Lock()
 	s.samples = s.samples[:0]
-	s.sorted = false
+	s.gen++
 	s.run.Reset()
+	s.mu.Unlock()
 }
 
 // String summarizes the sample for reports.
 func (s *LatencySample) String() string {
-	if s.N() == 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
 		return "n=0"
 	}
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
-		s.N(), s.Mean(), s.Median(), s.P99(), s.Max())
+		len(s.samples), units.Time(math.Round(s.run.Mean())),
+		s.quantileLocked(0.5), s.quantileLocked(0.99), units.Time(s.run.Max()))
 }
 
 // TimeWeighted tracks a piecewise-constant quantity (queue occupancy,

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -306,5 +307,90 @@ func TestRNGIndependentOfStats(t *testing.T) {
 	r2 := sim.NewRNG(3)
 	if before != r2.Uint64() {
 		t.Error("stats polluted RNG determinism")
+	}
+}
+
+// TestLatencySampleQuantilePreservesInsertionOrder: Quantile is a pure
+// read — it must not reorder the retained samples, whose insertion order
+// is checkpointed state.
+func TestLatencySampleQuantilePreservesInsertionOrder(t *testing.T) {
+	var s LatencySample
+	in := []units.Time{30, 10, 50, 20, 40}
+	for _, v := range in {
+		s.Add(v)
+	}
+	if got := s.Median(); got != 30 {
+		t.Fatalf("median %v, want 30", got)
+	}
+	got := s.SamplesAppend(nil)
+	for i, v := range in {
+		if got[i] != v {
+			t.Fatalf("sample %d after Quantile: got %v, want %v (insertion order destroyed)", i, got[i], v)
+		}
+	}
+}
+
+// TestLatencySampleScrapeWhileAddRace: the PR-9 regression — a metrics
+// scrape reading quantiles from a live collector while the simulation
+// goroutine adds. The old lazy in-place sort made every read a write;
+// under -race this test fails on that implementation.
+func TestLatencySampleScrapeWhileAddRace(t *testing.T) {
+	var s LatencySample
+	const adds = 2000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < adds; i++ {
+			s.Add(units.Time(i%97) * units.Nanosecond)
+		}
+	}()
+	var scrapers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				_ = s.Median()
+				_ = s.P99()
+				_ = s.Mean()
+				_ = s.String()
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	<-done
+	scrapers.Wait()
+	if s.N() != adds {
+		t.Fatalf("lost samples under concurrent scrape: %d of %d", s.N(), adds)
+	}
+}
+
+// TestLatencySampleQuantileSteadyStateAllocs: once the scratch buffer has
+// warmed up, repeated quantile reads over an unchanged sample set cost
+// zero allocations.
+func TestLatencySampleQuantileSteadyStateAllocs(t *testing.T) {
+	var s LatencySample
+	rng := sim.NewRNG(5)
+	for i := 0; i < 10_000; i++ {
+		s.Add(units.Time(rng.Intn(1_000_000)))
+	}
+	_ = s.Quantile(0.5) // warm the scratch buffer
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = s.Quantile(0.5)
+		_ = s.Quantile(0.99)
+	}); avg != 0 {
+		t.Fatalf("steady-state Quantile allocates %v objects/op, want 0", avg)
+	}
+	// After more adds the scratch re-sorts but still reuses its buffer.
+	s.Add(1)
+	if avg := testing.AllocsPerRun(10, func() {
+		s.Add(2)
+		_ = s.Quantile(0.9)
+	}); avg > 0 {
+		t.Fatalf("re-sort after Add allocates %v objects/op, want 0 (scratch not reused)", avg)
 	}
 }
