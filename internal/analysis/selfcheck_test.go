@@ -79,6 +79,37 @@ func TestShardSafeSeedAnnotations(t *testing.T) {
 		"fabric.node.push",
 		"fabric.node.arbitrate",
 		"fabric.shard.stepSlot",
+		// The bitboard/active-set fast path: idle-skip hooks on every
+		// scheduler, the dense-row primitives, the incremental VOQ and
+		// flow-control transition signals, and the node/shard
+		// bookkeeping that maintains demand bits and wake state.
+		"sched.ISLIP.SkipIdle",
+		"sched.PIM.SkipIdle",
+		"sched.LQF.SkipIdle",
+		"sched.FLPPR.SkipIdle",
+		"sched.PipelinedISLIP.SkipIdle",
+		"bitrow.Set",
+		"bitrow.Clear",
+		"bitrow.Has",
+		"bitrow.SetTo",
+		"bitrow.ZeroAll",
+		"bitrow.NextSet",
+		"voq.VOQSet.Backlog",
+		"voq.VOQSet.Commit",
+		"voq.VOQSet.Uncommit",
+		"voq.VOQSet.syncOcc",
+		"fc.Credits.ConsumeEmptied",
+		"fc.Credits.LandRefilled",
+		"packet.flowTable.slot",
+		"fabric.node.syncDemand",
+		"fabric.node.notePush",
+		"fabric.node.notePop",
+		"fabric.node.landCredit",
+		"fabric.nodeBoard.Commit",
+		"fabric.nodeBoard.Uncommit",
+		"fabric.nodeBoard.DemandRowBits",
+		"fabric.nodeBoard.DemandColBits",
+		"fabric.shard.wake",
 	}
 	for _, w := range want {
 		if !annotated[w] {

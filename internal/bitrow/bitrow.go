@@ -1,0 +1,87 @@
+// Package bitrow provides the dense uint64 bitset primitives shared by
+// the incrementally-maintained demand boards: a row of ceil(n/64) words
+// indexed bit-per-port. The scheduler package keeps private copies of
+// the same helpers (its bitset core predates this package and is the
+// most behavior-sensitive code in the tree); everything built since —
+// VOQ occupancy bits, the fabric node boards, the shard active sets —
+// uses this one.
+//
+// All functions are allocation-free and branch-light; they sit on the
+// per-slot hot path of every switch node.
+package bitrow
+
+import "math/bits"
+
+// Words reports the uint64 words needed for an n-bit row.
+func Words(n int) int { return (n + 63) / 64 }
+
+// Set sets bit i of the row.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func Set(row []uint64, i int) { row[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i of the row.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func Clear(row []uint64, i int) { row[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports bit i of the row.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func Has(row []uint64, i int) bool { return row[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// SetTo sets bit i of the row to v, reporting whether the bit changed.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func SetTo(row []uint64, i int, v bool) bool {
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	had := row[w]&m != 0
+	if had == v {
+		return false
+	}
+	row[w] ^= m
+	return true
+}
+
+// ZeroAll clears the whole row in place.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func ZeroAll(row []uint64) {
+	for i := range row {
+		row[i] = 0
+	}
+}
+
+// NextSet returns the index of the first set bit in [start, limit), or
+// -1 when none is set there. Rows must keep bits at or above limit zero
+// only in the last word the scan touches; every row in this repository
+// keeps its tail bits zero.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func NextSet(row []uint64, limit, start int) int {
+	if start >= limit {
+		return -1
+	}
+	w := start >> 6
+	word := row[w] &^ ((1 << (uint(start) & 63)) - 1)
+	for {
+		if word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			if i >= limit {
+				return -1
+			}
+			return i
+		}
+		w++
+		if w >= len(row) || w<<6 >= limit {
+			return -1
+		}
+		word = row[w]
+	}
+}

@@ -1,0 +1,75 @@
+package bitrow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWords(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 63: 1, 64: 1, 65: 2, 128: 2, 129: 3}
+	for n, want := range cases {
+		if got := Words(n); got != want {
+			t.Errorf("Words(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSetClearHas(t *testing.T) {
+	n := 200
+	row := make([]uint64, Words(n))
+	ref := make([]bool, n)
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 5000; step++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			Set(row, i)
+			ref[i] = true
+		case 1:
+			Clear(row, i)
+			ref[i] = false
+		case 2:
+			v := rng.Intn(2) == 0
+			changed := SetTo(row, i, v)
+			if changed == (ref[i] == v) {
+				t.Fatalf("SetTo(%d, %v) reported changed=%v with prior %v", i, v, changed, ref[i])
+			}
+			ref[i] = v
+		}
+		j := rng.Intn(n)
+		if Has(row, j) != ref[j] {
+			t.Fatalf("Has(%d) = %v, want %v after step %d", j, Has(row, j), ref[j], step)
+		}
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	n := 150
+	row := make([]uint64, Words(n))
+	for _, i := range []int{3, 64, 65, 127, 149} {
+		Set(row, i)
+	}
+	want := []int{3, 64, 65, 127, 149}
+	got := []int{}
+	for i := NextSet(row, n, 0); i >= 0; i = NextSet(row, n, i+1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk = %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("NextSet walk = %v, want %v", got, want)
+		}
+	}
+	if i := NextSet(row, 149, 128); i != -1 {
+		t.Errorf("NextSet below limit 149 returned %d, want -1", i)
+	}
+	if i := NextSet(row, n, 150); i != -1 {
+		t.Errorf("NextSet past end returned %d, want -1", i)
+	}
+	ZeroAll(row)
+	if i := NextSet(row, n, 0); i != -1 {
+		t.Errorf("NextSet on zeroed row returned %d", i)
+	}
+}

@@ -217,6 +217,21 @@ func New(cfg Config) (*Fabric, error) {
 		f.hostPort[h] = port
 	}
 
+	for _, n := range f.nodes {
+		n.peerIdx = make([]int, len(n.ports))
+		for p, pi := range n.ports {
+			n.peerIdx[p] = -1
+			if pi.Kind != UpPort && pi.Kind != DownPort {
+				continue
+			}
+			ni, ok := f.nodeIdx[pi.Peer]
+			if !ok {
+				return nil, fmt.Errorf("fabric: %v port %d peers unknown switch %v", n.id, p, pi.Peer)
+			}
+			n.peerIdx[p] = ni
+		}
+	}
+
 	f.ringLen = 2*cfg.LinkDelaySlots + 2
 	if err := f.partition(cfg.Shards); err != nil {
 		return nil, err
@@ -305,12 +320,16 @@ func (f *Fabric) Inject(c *packet.Cell) error {
 	if c.Src < 0 || c.Src >= f.cfg.Hosts {
 		return fmt.Errorf("fabric: source %d out of range", c.Src)
 	}
-	n := f.nodes[f.hostNode[c.Src]]
+	ni := f.hostNode[c.Src]
 	c.Injected = units.Time(f.slot) * f.metrics.CycleTime
 	if f.measuring {
 		f.injectOffered++
 	}
-	return n.push(c, f.hostPort[c.Src])
+	if err := f.nodes[ni].push(c, f.hostPort[c.Src]); err != nil {
+		return err
+	}
+	f.shards[f.nodeShard[ni]].wake(ni)
+	return nil
 }
 
 // Step advances the whole fabric one packet cycle: every shard ticks

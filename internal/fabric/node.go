@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/bitrow"
 	"repro/internal/fc"
 	"repro/internal/packet"
 	"repro/internal/sched"
@@ -23,7 +24,12 @@ type node struct {
 	net   Net
 	radix int
 	ports []PortInfo
-	sch   sched.Scheduler
+	// peerIdx[p] is the fabric node index of ports[p].Peer for
+	// inter-switch ports, -1 otherwise; resolved once at construction so
+	// the per-slot launch and credit paths index a slice instead of
+	// hashing a NodeID map key.
+	peerIdx []int
+	sch     sched.Scheduler
 	// receivers per output (dual-receiver crossbar).
 	receivers int
 
@@ -53,6 +59,32 @@ type node struct {
 	// stats
 	fcBlocked   uint64
 	maxVOQDepth int
+
+	// Incrementally-maintained demand board. words is the bitrow width
+	// for radix ports; colOcc[out*words .. +words) is the transposed
+	// occupancy matrix (bit in set iff voqs[in] has uncommitted cells for
+	// out), re-derived one bit at a time by syncDemand after every VOQ
+	// mutation; sendMask has bit out set iff the output may currently be
+	// granted (port in use, and — option 3 only — downstream credit
+	// available), updated only on CanSend transitions. Demand bits are
+	// derived state: checkpoints never carry them, LoadState rebuilds.
+	words    int
+	colOcc   []uint64
+	sendMask []uint64
+
+	// Active-set bookkeeping. resident counts cells held by this node
+	// (VOQs plus option-1 egress queues); the owning shard stops
+	// arbitrating the node while resident is zero and its scheduler can
+	// be fast-forwarded. schedSlot is the next slot the scheduler will
+	// observe; the gap to the current slot is the deferred idle stretch
+	// SkipIdle replays. depthHist[d] counts inputs whose VOQ set holds d
+	// cells and curMaxDepth is the histogram's maintained maximum, which
+	// turns the per-slot max-depth scan into O(1) updates at push/pop.
+	resident    int
+	skipper     sched.IdleSkipper
+	schedSlot   uint64
+	depthHist   []int
+	curMaxDepth int
 }
 
 // newNode builds a switch node.
@@ -96,7 +128,88 @@ func newNode(id NodeID, net Net, mk func() sched.Scheduler, receivers, inputCapa
 	n.match = sched.NewMatching(k)
 	n.launchBuf = make([]launch, k)
 	n.freedBuf = make([]int, k)
+	n.words = bitrow.Words(k)
+	n.colOcc = make([]uint64, k*n.words)
+	n.sendMask = make([]uint64, n.words)
+	n.resetSendMask()
+	n.depthHist = make([]int, 1, 16)
+	n.depthHist[0] = k
+	n.skipper, _ = n.sch.(sched.IdleSkipper)
 	return n, nil
+}
+
+// resetSendMask re-derives the grantable-output mask from scratch: ports
+// in use, minus (option 3) outputs whose credit counter cannot send.
+// Steady-state maintenance is incremental (consume/land transitions);
+// this full rebuild runs at construction and checkpoint restore only.
+func (n *node) resetSendMask() {
+	bitrow.ZeroAll(n.sendMask)
+	for out, pi := range n.ports {
+		if pi.Kind == Unused {
+			continue
+		}
+		if n.egress == nil {
+			if c := n.credits[out]; c != nil && !c.CanSend() {
+				continue
+			}
+		}
+		bitrow.Set(n.sendMask, out)
+	}
+}
+
+// syncDemand re-derives the transposed occupancy bit of one (in, out)
+// pair; called after every mutation of voqs[in] affecting out, so colOcc
+// stays exactly the transpose of the VOQ sets' occupancy rows.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (n *node) syncDemand(in, out int) {
+	bitrow.SetTo(n.colOcc[out*n.words:(out+1)*n.words], in, n.voqs[in].UncommittedAt(out))
+}
+
+// notePush maintains resident and the depth histogram for one cell
+// entering voqs[in]; must run after the VOQSet push.
+//
+//osmosis:shardsafe
+func (n *node) notePush(in int) {
+	n.resident++
+	d := n.voqs[in].Depth()
+	n.depthHist[d-1]--
+	if d == len(n.depthHist) {
+		//lint:ignore hotpath grows only when a never-before-seen max depth is reached; cap-stable in steady state
+		n.depthHist = append(n.depthHist, 0)
+	}
+	n.depthHist[d]++
+	if d > n.curMaxDepth {
+		n.curMaxDepth = d
+	}
+}
+
+// notePop maintains the depth histogram for one cell popped from
+// voqs[in]; must run after the VOQSet pop. (resident is settled once per
+// arbitrate from the launch count, since option-1 pops stay resident in
+// the egress queues.)
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (n *node) notePop(in int) {
+	d := n.voqs[in].Depth()
+	n.depthHist[d+1]--
+	n.depthHist[d]++
+	if d+1 == n.curMaxDepth && n.depthHist[d+1] == 0 {
+		n.curMaxDepth--
+	}
+}
+
+// landCredit lands one returning credit on an output's counter and, on
+// the empty→usable transition, restores the output's grantable bit
+// (option 3; option-1 masks are credit-independent and stay set).
+//
+//osmosis:shardsafe
+func (n *node) landCredit(port int) {
+	if n.credits[port].LandRefilled() && n.egress == nil {
+		bitrow.Set(n.sendMask, port)
+	}
 }
 
 // board adapts node state for the scheduler, masking outputs that lack
@@ -122,8 +235,52 @@ func (b nodeBoard) Demand(in, out int) int {
 	return n.voqs[in].Uncommitted(out)
 }
 
-func (b nodeBoard) Commit(in, out int)   { b.n.voqs[in].Commit(out) }
-func (b nodeBoard) Uncommit(in, out int) { b.n.voqs[in].Uncommit(out) }
+// Commit and Uncommit forward to the VOQ set and keep the node's
+// transposed occupancy bits in sync.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (b nodeBoard) Commit(in, out int) {
+	b.n.voqs[in].Commit(out)
+	b.n.syncDemand(in, out)
+}
+
+//osmosis:hotpath
+//osmosis:shardsafe
+func (b nodeBoard) Uncommit(in, out int) {
+	b.n.voqs[in].Uncommit(out)
+	b.n.syncDemand(in, out)
+}
+
+// DemandRowBits implements sched.BitBoard: input in's uncommitted
+// occupancy row ANDed against the grantable-output mask — exactly the
+// outputs for which Demand(in, out) > 0, in ceil(radix/64) word ops.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (b nodeBoard) DemandRowBits(in int, row []uint64) {
+	n := b.n
+	occ := n.voqs[in].UncommittedBits()
+	for w := range row {
+		row[w] = occ[w] & n.sendMask[w]
+	}
+}
+
+// DemandColBits implements sched.BitBoard: the transposed occupancy
+// column for out when the output is grantable, all-zero otherwise.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (b nodeBoard) DemandColBits(out int, col []uint64) {
+	n := b.n
+	if !bitrow.Has(n.sendMask, out) {
+		for w := range col {
+			col[w] = 0
+		}
+		return
+	}
+	copy(col, n.colOcc[out*n.words:(out+1)*n.words])
+}
 
 // push enqueues a cell arriving on input port in; the output port is
 // computed from the routing function.
@@ -135,6 +292,8 @@ func (n *node) push(c *packet.Cell, in int) error {
 		return err
 	}
 	n.voqs[in].Push(c, out)
+	n.notePush(in)
+	n.syncDemand(in, out)
 	return nil
 }
 
@@ -173,6 +332,13 @@ func (n *node) arbitrate(slot uint64) (launches []launch, freed []int) {
 			n.nLaunch++
 		}
 	}
+	// Replay any slots skipped while the node was out of the active set:
+	// the scheduler must observe every slot exactly once, so its pipeline
+	// phase stays identical to the always-ticked kernel's.
+	if n.skipper != nil && slot > n.schedSlot {
+		n.skipper.SkipIdle(slot - n.schedSlot)
+	}
+	n.schedSlot = slot + 1
 	n.sch.TickInto(slot, nodeBoard{n}, &n.match)
 	freed = n.freedBuf
 	for i := range freed {
@@ -186,10 +352,15 @@ func (n *node) arbitrate(slot uint64) (launches []launch, freed []int) {
 		// race a credit drain); blocked cells simply stay queued.
 		if n.egress == nil {
 			if c := n.credits[out]; c != nil {
-				if !c.Consume() {
+				ok, emptied := c.ConsumeEmptied()
+				if !ok {
 					n.fcBlocked++
 					n.voqs[in].Uncommit(out)
+					n.syncDemand(in, out)
 					continue
+				}
+				if emptied {
+					bitrow.Clear(n.sendMask, out)
 				}
 			}
 		}
@@ -199,6 +370,8 @@ func (n *node) arbitrate(slot uint64) (launches []launch, freed []int) {
 			//lint:ignore panicfree,hotpath scheduler/VOQ bookkeeping invariant: a grant without a cell is a scheduler bug, not a runtime condition; the Sprintf only runs on that dead path
 			panic(fmt.Sprintf("fabric: %v granted empty VOQ in=%d out=%d slot=%d", n.id, in, out, slot))
 		}
+		n.notePop(in)
+		n.syncDemand(in, out)
 		c.Hops++
 		freed[in]++
 		if n.egress != nil {
@@ -208,28 +381,69 @@ func (n *node) arbitrate(slot uint64) (launches []launch, freed []int) {
 			n.nLaunch++
 		}
 	}
-	// Depth tracking.
-	for _, v := range n.voqs {
-		if d := v.Depth(); d > n.maxVOQDepth {
-			n.maxVOQDepth = d
-		}
+	// Depth tracking: the maintained histogram max equals the max the
+	// removed per-VOQ scan would sample at this exact point, so the
+	// MaxVOQDepth metric (part of the fingerprint) is bit-identical.
+	if n.curMaxDepth > n.maxVOQDepth {
+		n.maxVOQDepth = n.curMaxDepth
 	}
+	// Every launch this slot left the node: option-3 pops launch
+	// directly, option-1 launches drain the egress queues, and option-1
+	// pops merely move cells VOQ→egress (still resident).
+	n.resident -= n.nLaunch
 	return n.launchBuf[:n.nLaunch], freed
 }
 
-// idle reports whether the node holds no cells.
-func (n *node) idle() bool {
-	for _, v := range n.voqs {
-		if v.Depth() > 0 {
-			return false
+// idle reports whether the node holds no cells — O(1) from the
+// maintained resident counter (the scan it replaces is retained in
+// shard_test.go as slowIdle and pinned equal by regression test).
+func (n *node) idle() bool { return n.resident == 0 }
+
+// rebuildDerived recomputes every derived structure — resident count,
+// depth histogram, transposed occupancy bits, grantable mask, scheduler
+// slot cursor — from restored VOQ/credit/egress state. Checkpoints never
+// serialize derived bits; LoadState calls this instead.
+func (n *node) rebuildDerived(slot uint64) {
+	n.resident = 0
+	n.curMaxDepth = 0
+	for i := range n.depthHist {
+		n.depthHist[i] = 0
+	}
+	bitrow.ZeroAll(n.colOcc)
+	for in, v := range n.voqs {
+		d := v.Depth()
+		n.resident += d
+		for len(n.depthHist) <= d {
+			n.depthHist = append(n.depthHist, 0)
+		}
+		n.depthHist[d]++
+		if d > n.curMaxDepth {
+			n.curMaxDepth = d
+		}
+		occ := v.UncommittedBits()
+		for out := bitrow.NextSet(occ, n.radix, 0); out >= 0; out = bitrow.NextSet(occ, n.radix, out+1) {
+			bitrow.Set(n.colOcc[out*n.words:(out+1)*n.words], in)
 		}
 	}
 	if n.egress != nil {
 		for _, e := range n.egress {
-			if e.Queued() > 0 {
-				return false
-			}
+			n.resident += e.Queued()
 		}
 	}
-	return true
+	n.resetSendMask()
+	n.schedSlot = slot
+}
+
+// normalizeSched applies any deferred idle skips so the scheduler state
+// a checkpoint serializes is canonical — byte-identical to the
+// always-ticked twin's at the barrier slot. Skips are additive (skip to
+// slot now plus skip onward later equals one combined skip), so
+// normalizing mid-run never changes where the run ends up.
+func (n *node) normalizeSched(slot uint64) {
+	if slot > n.schedSlot {
+		if n.skipper != nil {
+			n.skipper.SkipIdle(slot - n.schedSlot)
+		}
+		n.schedSlot = slot
+	}
 }

@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/bitrow"
 	"repro/internal/packet"
 	"repro/internal/parallel"
 	"repro/internal/traffic"
@@ -48,6 +49,16 @@ type shard struct {
 	// barrier from this shard's delivered cells.
 	alloc *packet.Allocator
 
+	// active is the arbitration work set: bit (ni - nodeLo) is set while
+	// node ni may need to arbitrate. Every cell push sets the owner's bit
+	// (idempotent, O(1)); the tick loop clears a bit only when the node
+	// holds zero resident cells AND its scheduler supports idle skipping,
+	// so a skipped slot is provably equivalent to an arbitrate that would
+	// have matched nothing. A bitset — not a list — because the loop must
+	// visit nodes in ascending index order: ring and mailbox append order
+	// decides downstream push order, which is real (FIFO) state.
+	active []uint64
+
 	slot uint64
 	// offered counts measured injections (merged into Metrics.Offered).
 	offered            uint64
@@ -83,8 +94,22 @@ func newShard(f *Fabric, idx, lo, hi, nShards, window int) *shard {
 	s.outCells = make([][]farDelivery, nShards)
 	s.outCreds = make([][]farCredit, nShards)
 	s.delivered = make([][]*packet.Cell, window)
+	// All nodes start active: the first slot arbitrates everything once
+	// (matching the pre-active-set kernel exactly), and empty nodes with
+	// skippable schedulers fall out of the set right after.
+	s.active = make([]uint64, bitrow.Words(hi-lo))
+	for rel := 0; rel < hi-lo; rel++ {
+		bitrow.Set(s.active, rel)
+	}
 	return s
 }
+
+// wake puts an owned node into the arbitration work set; callers invoke
+// it after every push so a cell can never sit in a VOQ of a sleeping
+// node.
+//
+//osmosis:shardsafe
+func (s *shard) wake(ni int) { bitrow.Set(s.active, ni-s.nodeLo) }
 
 // advance ticks the shard n slots (one lookahead window or less). It
 // runs concurrently with the other shards' advance calls and touches
@@ -140,6 +165,7 @@ func (s *shard) stepSlot(w int, inj *injectPlan) error {
 			if err := f.nodes[f.hostNode[h]].push(c, f.hostPort[h]); err != nil {
 				return err
 			}
+			s.wake(f.hostNode[h])
 		}
 	}
 
@@ -152,13 +178,17 @@ func (s *shard) stepSlot(w int, inj *injectPlan) error {
 		if err := nd.push(d.cell, d.port); err != nil {
 			return err
 		}
+		s.wake(d.node)
 		if depth := nd.inputDepth(d.port); depth > s.maxInterInputDepth {
 			s.maxInterInputDepth = depth
 		}
 	}
 	s.inflight[idx] = s.inflight[idx][:0]
+	// Credit landings go through the node so the grantable mask sees the
+	// empty→usable transition; they never wake a node — with no resident
+	// cells there is nothing a fresh credit could get granted.
 	for _, cr := range s.creditWire[idx] {
-		f.nodes[cr.node].credits[cr.port].Land()
+		f.nodes[cr.node].landCredit(cr.port)
 	}
 	s.creditWire[idx] = s.creditWire[idx][:0]
 
@@ -168,7 +198,9 @@ func (s *shard) stepSlot(w int, inj *injectPlan) error {
 	// loop exactly fc.LoopRTT(LinkDelaySlots, 1) slots.
 	land := slot + uint64(f.cfg.LinkDelaySlots) + 1
 	landIdx := int(land) % f.ringLen
-	for ni := s.nodeLo; ni < s.nodeHi; ni++ {
+	span := s.nodeHi - s.nodeLo
+	for rel := bitrow.NextSet(s.active, span, 0); rel >= 0; rel = bitrow.NextSet(s.active, span, rel+1) {
+		ni := s.nodeLo + rel
 		nd := f.nodes[ni]
 		launches, freed := nd.arbitrate(slot)
 		for in, cnt := range freed {
@@ -179,7 +211,7 @@ func (s *shard) stepSlot(w int, inj *injectPlan) error {
 			if pi.Kind != UpPort && pi.Kind != DownPort {
 				continue
 			}
-			up := f.nodeIdx[pi.Peer]
+			up := nd.peerIdx[in]
 			cr := creditReturn{node: up, port: pi.PeerPort}
 			if t := f.nodeShard[up]; t == s.idx {
 				for i := 0; i < cnt; i++ {
@@ -199,7 +231,7 @@ func (s *shard) stepSlot(w int, inj *injectPlan) error {
 			case HostPort:
 				f.hostEgress[pi.Host].Receive(l.cell)
 			case UpPort, DownPort:
-				d := delivery{cell: l.cell, node: f.nodeIdx[pi.Peer], port: pi.PeerPort}
+				d := delivery{cell: l.cell, node: nd.peerIdx[l.out], port: pi.PeerPort}
 				if t := f.nodeShard[d.node]; t == s.idx {
 					//lint:ignore hotpath ring buckets reach steady-state capacity after one RTT; appends stop growing
 					s.inflight[landIdx] = append(s.inflight[landIdx], d)
@@ -210,6 +242,14 @@ func (s *shard) stepSlot(w int, inj *injectPlan) error {
 			default:
 				return fmt.Errorf("fabric: %v launched on %v port %d", nd.id, pi.Kind, l.out)
 			}
+		}
+		// Retire drained nodes from the work set. Requires an
+		// idle-skippable scheduler: resident == 0 means no VOQ or egress
+		// cell and no outstanding commitment (commitments are only ever
+		// placed on queued cells), so every skipped slot would have been
+		// an idle tick — which SkipIdle replays exactly on wake-up.
+		if nd.resident == 0 && nd.skipper != nil {
+			bitrow.Clear(s.active, rel)
 		}
 	}
 

@@ -83,6 +83,83 @@ func (f *Fabric) nodesEmpty() bool {
 	return true
 }
 
+// slowIdle re-derives node idleness the way the pre-active-set kernel
+// did — a full scan of every VOQ set and option-1 egress queue. Kept as
+// the oracle for TestIdleMatchesSlowScan, which pins the O(1) resident
+// counter to this scan.
+func (n *node) slowIdle() bool {
+	for _, v := range n.voqs {
+		if v.Depth() > 0 {
+			return false
+		}
+	}
+	if n.egress != nil {
+		for _, e := range n.egress {
+			if e.Queued() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestIdleMatchesSlowScan drives real traffic through both buffer
+// placements and checks, every slot of the run and of the subsequent
+// drain, that the maintained resident counter agrees with the full scan
+// for every node. The drain tail matters most: that is where nodes
+// empty one by one and a stale counter would strand (or prematurely
+// sleep) a node in the active set.
+func TestIdleMatchesSlowScan(t *testing.T) {
+	for _, opt1 := range []bool{false, true} {
+		name := "option3"
+		if opt1 {
+			name = "option1"
+		}
+		t.Run(name, func(t *testing.T) {
+			f := smallFabric(t, func(c *Config) { c.EgressBuffered = opt1 })
+			gens, err := traffic.Build(traffic.Config{Kind: traffic.KindUniform, N: 32, Load: 0.8, Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(phase string) {
+				t.Helper()
+				for ni, n := range f.nodes {
+					if got, want := n.idle(), n.slowIdle(); got != want {
+						t.Fatalf("%s slot %d: node %d idle()=%v but scan says %v (resident=%d)",
+							phase, f.Slot(), ni, got, want, n.resident)
+					}
+				}
+			}
+			for i := 0; i < 600; i++ {
+				now := units.Time(f.Slot()) * f.metrics.CycleTime
+				for h, g := range gens {
+					a, ok := g.Next(f.Slot())
+					if !ok {
+						continue
+					}
+					c := f.alloc.New(h, a.Dst, packet.Data, now)
+					if err := f.Inject(c); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := f.Step(); err != nil {
+					t.Fatal(err)
+				}
+				check("run")
+			}
+			for i := 0; i < 20000 && !f.Idle(); i++ {
+				if err := f.Step(); err != nil {
+					t.Fatal(err)
+				}
+				check("drain")
+			}
+			if !f.Idle() {
+				t.Fatal("fabric failed to drain")
+			}
+		})
+	}
+}
+
 // TestDrainRestoresCredits runs real traffic, drains, and requires the
 // full credit population back in every counter — the end-to-end version
 // of the Idle regression.
@@ -240,6 +317,24 @@ func TestStepZeroAllocsSteadyState(t *testing.T) {
 	if avg := testing.AllocsPerRun(400, step); avg != 0 {
 		t.Errorf("steady-state slot allocates %.1f objects, want 0", avg)
 	}
+	// Sleep/wake cycle: a full drain empties the active sets (idle ticks
+	// on sleeping nodes), and the re-burst walks the wake path — active
+	// bits re-set on push, deferred SkipIdle replays at the first
+	// arbitrate. All of it must stay allocation-free too.
+	if drained, err := f.Drain(20000); err != nil || !drained {
+		t.Fatalf("mid-test drain failed: %v", err)
+	}
+	idleStep := func() {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, idleStep); avg != 0 {
+		t.Errorf("idle slot with sleeping nodes allocates %.1f objects, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(400, step); avg != 0 {
+		t.Errorf("post-drain re-burst slot allocates %.1f objects, want 0", avg)
+	}
 }
 
 // --- golden determinism across shard counts --------------------------
@@ -293,9 +388,17 @@ func TestGoldenDeterminism2048Ports(t *testing.T) {
 	// after the drain is the exact conservation (lossless) statement.
 	warmup, measure := uint64(0), uint64(180)
 
+	// Fingerprint captured from the pre-bitboard kernel (scalar demand
+	// reads, every node arbitrated every slot). The optimized kernel is
+	// required to be a pure perf change: byte-identical metrics.
+	const pinned = "offered=350284 delivered=350284 slots=180 lat[n=350284 mean=0x1.08p+05 sd=0x1.2fa0f09104be7p+04 min=0x1p+00 max=0x1.b6p+07 p50=0x1.ap+04 p99=0x1.a8p+06] ctl[empty] hops[ 1:5307 3:344977] viol=0 drop=0 fcblk=111088 maxvoq=72 maxin=13"
+
 	ref, m, f := runSharded(t, cfg, tcfg, 0, warmup, measure)
 	if f.ShardCount() != 1 {
 		t.Fatalf("serial reference ran with %d shards", f.ShardCount())
+	}
+	if ref != pinned {
+		t.Errorf("serial kernel diverged from the pre-optimization fingerprint:\n  pin: %s\n  got: %s", pinned, ref)
 	}
 	if m.Delivered == 0 {
 		t.Fatal("nothing delivered at scale")
@@ -329,27 +432,33 @@ func TestGoldenDeterminismSmallShapes(t *testing.T) {
 		name string
 		cfg  Config
 		tcfg traffic.Config
+		// pinned is the fingerprint captured from the pre-bitboard
+		// kernel; the optimized kernel must reproduce it byte-for-byte.
+		pinned string
 	}{
 		{
 			name: "delay0",
 			cfg: Config{Hosts: 32, Radix: 8, Receivers: 2,
 				NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
 				LinkDelaySlots: 0},
-			tcfg: traffic.Config{Kind: traffic.KindUniform, N: 32, Load: 0.8, Seed: 11},
+			tcfg:   traffic.Config{Kind: traffic.KindUniform, N: 32, Load: 0.8, Seed: 11},
+			pinned: "offered=38436 delivered=38714 slots=1500 lat[n=38714 mean=0x1.ap+04 sd=0x1.321ef991b7653p+06 min=0x1p+00 max=0x1.a6p+09 p50=0x1p+03 p99=0x1.c2p+08] ctl[empty] hops[ 1:3689 3:35025] viol=0 drop=0 fcblk=10352 maxvoq=315 maxin=4",
 		},
 		{
 			name: "option1",
 			cfg: Config{Hosts: 32, Radix: 8, Receivers: 2,
 				NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
 				LinkDelaySlots: 2, EgressBuffered: true},
-			tcfg: traffic.Config{Kind: traffic.KindUniform, N: 32, Load: 0.7, Seed: 12},
+			tcfg:   traffic.Config{Kind: traffic.KindUniform, N: 32, Load: 0.7, Seed: 12},
+			pinned: "offered=33473 delivered=33723 slots=1500 lat[n=33723 mean=0x1.8p+03 sd=0x1.dc0635b72d7ecp+01 min=0x1p+01 max=0x1.dp+04 p50=0x1.8p+03 p99=0x1.4p+04] ctl[empty] hops[ 1:3189 3:30534] viol=0 drop=0 fcblk=0 maxvoq=2 maxin=3",
 		},
 		{
 			name: "bursty",
 			cfg: Config{Hosts: 32, Radix: 8, Receivers: 2,
 				NewScheduler:   func() sched.Scheduler { return sched.NewFLPPR(8, 0) },
 				LinkDelaySlots: 3},
-			tcfg: traffic.Config{Kind: traffic.KindBursty, N: 32, Load: 0.6, Seed: 13},
+			tcfg:   traffic.Config{Kind: traffic.KindBursty, N: 32, Load: 0.6, Seed: 13},
+			pinned: "offered=29230 delivered=30173 slots=1500 lat[n=30173 mean=0x1.88p+06 sd=0x1.23ce8d277d1p+07 min=0x1p+00 max=0x1.a7p+10 p50=0x1.8p+05 p99=0x1.588p+09] ctl[empty] hops[ 1:3584 3:26589] viol=0 drop=0 fcblk=21430 maxvoq=357 maxin=10",
 		},
 		{
 			name: "hotspot",
@@ -358,12 +467,16 @@ func TestGoldenDeterminismSmallShapes(t *testing.T) {
 				LinkDelaySlots: 4},
 			tcfg: traffic.Config{Kind: traffic.KindHotspot, N: 32, Load: 0.9,
 				HotPort: 0, HotFraction: 0.5, Seed: 14},
+			pinned: "offered=43185 delivered=47038 slots=1500 lat[n=47038 mean=0x1.cb5p+12 sd=0x1.af0ad244261fdp+12 min=0x1p+00 max=0x1.6ec8p+14 p50=0x1.60bp+12 p99=0x1.66c4p+14] ctl[empty] hops[ 1:4418 3:42620] viol=0 drop=0 fcblk=122690 maxvoq=1419 maxin=12",
 		},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			ref, _, _ := runSharded(t, tc.cfg, tc.tcfg, 0, 200, 1500)
+			if ref != tc.pinned {
+				t.Errorf("serial kernel diverged from the pre-optimization fingerprint:\n  pin: %s\n  got: %s", tc.pinned, ref)
+			}
 			for _, shards := range []int{1, 2, 3, 5, 7, 1 << 10} {
 				got, _, pf := runSharded(t, tc.cfg, tc.tcfg, shards, 200, 1500)
 				if got != ref {

@@ -332,6 +332,13 @@ func (f *Fabric) SaveState(e *ckpt.Encoder) {
 
 	e.Begin("nodes")
 	for _, n := range f.nodes {
+		// Canonicalize before serializing: a node parked out of the
+		// active set carries deferred idle skips; replaying them now
+		// makes the scheduler bytes identical to an always-ticked twin's,
+		// so checkpoints stay byte-deterministic across shard counts and
+		// activity histories. (Skips are additive, so this never changes
+		// the run — it only moves bookkeeping forward.)
+		n.normalizeSched(f.slot)
 		f.saveNode(e, n)
 	}
 	e.End("nodes")
@@ -451,6 +458,17 @@ func (f *Fabric) LoadState(d *ckpt.Decoder) error {
 	// The per-shard offered split is an execution detail; only the sum
 	// feeds Metrics.Offered, so the whole balance can live on shard 0.
 	f.shards[0].offered = shardOffered
+
+	// Rebuild every node's derived state — occupancy bits, grantable
+	// masks, resident counts, depth histograms, scheduler slot cursors —
+	// from the restored queues and counters. The checkpoint format never
+	// carries derived bits, so old snapshots restore unchanged. Shards
+	// leave all nodes in the active set (how newShard built them); empty
+	// nodes drop out after their first arbitrate, which is equivalent to
+	// skipping them outright because an idle tick IS SkipIdle(1).
+	for _, n := range f.nodes {
+		n.rebuildDerived(slot)
+	}
 
 	if err := d.Begin("wires"); err != nil {
 		return err

@@ -64,6 +64,22 @@ func (c *Credits) Consume() bool {
 	return true
 }
 
+// ConsumeEmptied is Consume with a CanSend-transition signal: emptied
+// reports that this consume took the last credit (CanSend flipped
+// true→false). Callers that mirror CanSend in a mask word update it
+// only on these transitions instead of re-querying per (in, out).
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (c *Credits) ConsumeEmptied() (ok, emptied bool) {
+	if c.avail <= 0 {
+		c.Shortfalls++
+		return false, false
+	}
+	c.avail--
+	return true, c.avail == 0
+}
+
 // Release queues one credit for return (the downstream buffer freed a
 // slot); it becomes usable after the loop RTT.
 //
@@ -83,6 +99,17 @@ func (c *Credits) Release() {
 //
 //osmosis:shardsafe
 func (c *Credits) Land() { c.avail++ }
+
+// LandRefilled is Land with a CanSend-transition signal: refilled
+// reports that this landing made the counter usable again (CanSend
+// flipped false→true) — the other edge of ConsumeEmptied.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (c *Credits) LandRefilled() (refilled bool) {
+	c.avail++
+	return c.avail == 1
+}
 
 // Tick advances one packet cycle, landing any credits whose return
 // delay elapsed.

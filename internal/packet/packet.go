@@ -85,18 +85,87 @@ func (c *Cell) String() string {
 // identical whether a cell is fresh or recycled.
 type Allocator struct {
 	nextID uint64
-	seq    map[flowKey]uint64
+	seq    flowTable
 	free   []*Cell
 }
 
-type flowKey struct {
-	src, dst int
-	class    Class
+// flowTable stores one uint64 per (src, dst, class) flow in dense
+// per-source rows indexed dst*2+class, grown on demand. At the loads
+// where flow state is hot, most (src, dst) pairs are live, so a dense
+// table beats a hash map: one predictable indexed load per access — no
+// key mixing, no probe chain, and no incremental-rehash pauses once
+// millions of flows exist. A value of 0 means the flow has never been
+// touched; both users encode live flows as values >= 1.
+//
+// Rows index by dst*2+class, so class must be Data or Control — which
+// Class is by construction everywhere cells are made.
+type flowTable struct {
+	rows [][]uint64
 }
+
+// slot returns the value cell for a flow, growing the table as needed.
+//
+//osmosis:shardsafe
+func (t *flowTable) slot(src, dst int, class Class) *uint64 {
+	if src >= len(t.rows) {
+		//lint:ignore hotpath outer table reaches the source-port count once and stops growing
+		t.rows = append(t.rows, make([][]uint64, src+1-len(t.rows))...)
+	}
+	row := t.rows[src]
+	i := dst*2 + int(class)
+	if i >= len(row) {
+		//lint:ignore hotpath rows double toward the destination-port count and stop growing; cap-stable once every flow has been seen
+		grown := make([]uint64, max(i+1, 2*len(row)))
+		copy(grown, row)
+		row = grown
+		t.rows[src] = row
+	}
+	return &row[i]
+}
+
+// each calls fn for every flow with a nonzero value, in (src, dst,
+// class) order — the iteration the checkpoint codecs rely on for
+// byte-deterministic serialization.
+func (t *flowTable) each(fn func(src, dst int, class Class, v uint64)) {
+	for src, row := range t.rows {
+		for i, v := range row {
+			if v != 0 {
+				fn(src, i/2, Class(i%2), v)
+			}
+		}
+	}
+}
+
+// count reports the number of nonzero flows.
+func (t *flowTable) count() uint64 {
+	var n uint64
+	for _, row := range t.rows {
+		for _, v := range row {
+			if v != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// clone returns a deep copy of the table.
+func (t *flowTable) clone() flowTable {
+	c := flowTable{rows: make([][]uint64, len(t.rows))}
+	for src, row := range t.rows {
+		if len(row) > 0 {
+			c.rows[src] = append([]uint64(nil), row...)
+		}
+	}
+	return c
+}
+
+// reset drops all flows.
+func (t *flowTable) reset() { t.rows = nil }
 
 // NewAllocator returns an empty allocator.
 func NewAllocator() *Allocator {
-	return &Allocator{seq: make(map[flowKey]uint64)}
+	return &Allocator{}
 }
 
 // New creates a cell for the given flow, stamping ID, Seq and Created.
@@ -104,9 +173,9 @@ func NewAllocator() *Allocator {
 //
 //osmosis:shardsafe
 func (a *Allocator) New(src, dst int, class Class, now units.Time) *Cell {
-	k := flowKey{src, dst, class}
-	seq := a.seq[k]
-	a.seq[k] = seq + 1
+	p := a.seq.slot(src, dst, class)
+	seq := *p
+	*p = seq + 1
 	a.nextID++
 	var c *Cell
 	if n := len(a.free); n > 0 {
@@ -146,38 +215,32 @@ func (a *Allocator) Issued() uint64 { return a.nextID }
 // maintained between every input/output pair (per class). It records
 // the last sequence number delivered per flow and counts violations.
 type OrderChecker struct {
-	last       map[flowKey]uint64
-	seen       map[flowKey]bool
+	// last holds lastSeq+1 per flow (0 means the flow has never
+	// delivered), folding the seen-flag into the same cell so the hot
+	// Deliver path does one table access per cell.
+	last       flowTable
 	violations uint64
 	delivered  uint64
 }
 
 // NewOrderChecker returns an empty checker.
 func NewOrderChecker() *OrderChecker {
-	return &OrderChecker{
-		last: make(map[flowKey]uint64),
-		seen: make(map[flowKey]bool),
-	}
+	return &OrderChecker{}
 }
 
 // Deliver records a delivery; it returns false if the cell arrived out
-// of order with respect to its flow.
+// of order with respect to its flow. A sequence gap is not a violation
+// by itself (the missing cell may still be in flight and would then
+// arrive late, which is caught as a non-increasing sequence); delivery
+// must only be strictly increasing per flow.
 func (o *OrderChecker) Deliver(c *Cell) bool {
-	k := flowKey{c.Src, c.Dst, c.Class}
+	p := o.last.slot(c.Src, c.Dst, c.Class)
 	o.delivered++
-	if o.seen[k] && c.Seq <= o.last[k] {
+	if v := *p; v != 0 && c.Seq < v {
 		o.violations++
 		return false
 	}
-	if o.seen[k] && c.Seq != o.last[k]+1 {
-		// A gap is not an ordering violation by itself (the missing cell
-		// may still be in flight and would then arrive late, which is
-		// caught above), but we track strictly increasing delivery.
-		o.last[k] = c.Seq
-		return true
-	}
-	o.seen[k] = true
-	o.last[k] = c.Seq
+	*p = c.Seq + 1
 	return true
 }
 

@@ -7,7 +7,6 @@ package packet
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/ckpt"
 	"repro/internal/units"
@@ -48,24 +47,37 @@ func LoadCell(d *ckpt.Decoder) (*Cell, error) {
 	return c, nil
 }
 
-// sortedFlowKeys returns m's keys in (src, dst, class) order so map
-// serialization is byte-deterministic.
-func sortedFlowKeys[V any](m map[flowKey]V) []flowKey {
-	keys := make([]flowKey, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.src != b.src {
-			return a.src < b.src
-		}
-		if a.dst != b.dst {
-			return a.dst < b.dst
-		}
-		return a.class < b.class
+// saveFlows writes every nonzero flow of a table as one record per
+// flow, in (src, dst, class) order — flowTable.each iterates in exactly
+// that order, so the encoding is byte-deterministic with no sort. sub
+// is subtracted from each value before writing (the order checker keeps
+// lastSeq+1 in memory but lastSeq on disk).
+func saveFlows(e *ckpt.Encoder, name string, t *flowTable, sub uint64) {
+	t.each(func(src, dst int, class Class, v uint64) {
+		e.Put(name, ckpt.Int(int64(src)), ckpt.Int(int64(dst)),
+			ckpt.Uint(uint64(class)), ckpt.Uint(v-sub))
 	})
-	return keys
+}
+
+// readFlow reads one per-flow record written by saveFlows, returning a
+// validated pointer into t's value cell for that flow plus the stored
+// value. The caller checks *p for duplicates (live flows are nonzero).
+func readFlow(d *ckpt.Decoder, name string, t *flowTable) (p *uint64, v uint64, err error) {
+	fr := d.Record(name)
+	src, dst, class := fr.IntAsInt(), fr.IntAsInt(), Class(fr.Uint())
+	v = fr.Uint()
+	if err := fr.Done(); err != nil {
+		return nil, 0, err
+	}
+	if class > Control {
+		return nil, 0, fmt.Errorf("packet: %s flow class %d out of range", name, class)
+	}
+	// The dense table allocates per-source rows sized to the largest
+	// destination, so bound both indices before trusting them.
+	if src < 0 || dst < 0 || src >= 1<<24 || dst >= 1<<24 {
+		return nil, 0, fmt.Errorf("packet: %s flow %d->%d outside supported port range", name, src, dst)
+	}
+	return t.slot(src, dst, class), v, nil
 }
 
 // SaveState serializes the allocator's identity state: the ID counter
@@ -74,11 +86,8 @@ func sortedFlowKeys[V any](m map[flowKey]V) []flowKey {
 // never its identity, so a restored allocator that heap-allocates
 // produces the same run.
 func (a *Allocator) SaveState(e *ckpt.Encoder) {
-	e.Put("alloc", ckpt.Uint(a.nextID), ckpt.Uint(uint64(len(a.seq))))
-	for _, k := range sortedFlowKeys(a.seq) {
-		e.Put("flow", ckpt.Int(int64(k.src)), ckpt.Int(int64(k.dst)),
-			ckpt.Uint(uint64(k.class)), ckpt.Uint(a.seq[k]))
-	}
+	e.Put("alloc", ckpt.Uint(a.nextID), ckpt.Uint(a.seq.count()))
+	saveFlows(e, "flow", &a.seq, 0)
 }
 
 // LoadState restores the allocator's identity state, replacing the
@@ -89,21 +98,19 @@ func (a *Allocator) LoadState(d *ckpt.Decoder) error {
 	if err := r.Done(); err != nil {
 		return err
 	}
-	seq := make(map[flowKey]uint64, n)
+	var seq flowTable
 	for i := uint64(0); i < n; i++ {
-		fr := d.Record("flow")
-		k := flowKey{src: fr.IntAsInt(), dst: fr.IntAsInt(), class: Class(fr.Uint())}
-		v := fr.Uint()
-		if err := fr.Done(); err != nil {
+		p, v, err := readFlow(d, "flow", &seq)
+		if err != nil {
 			return err
 		}
-		if k.class > Control {
-			return fmt.Errorf("packet: alloc flow class %d out of range", k.class)
+		if *p != 0 {
+			return fmt.Errorf("packet: alloc flow record %d duplicated", i)
 		}
-		if _, dup := seq[k]; dup {
-			return fmt.Errorf("packet: alloc flow %d->%d/%d duplicated", k.src, k.dst, k.class)
+		if v == 0 {
+			return fmt.Errorf("packet: alloc flow record %d has zero sequence count", i)
 		}
-		seq[k] = v
+		*p = v
 	}
 	a.nextID = nextID
 	a.seq = seq
@@ -123,22 +130,19 @@ func (a *Allocator) LoadState(d *ckpt.Decoder) error {
 // stay frozen at the checkpointed value, strictly below the live owner's.
 func SaveMergedState(e *ckpt.Encoder, allocs ...*Allocator) {
 	var nextID uint64
-	merged := make(map[flowKey]uint64)
+	var merged flowTable
 	for _, a := range allocs {
 		if a.nextID > nextID {
 			nextID = a.nextID
 		}
-		for k, v := range a.seq {
-			if v > merged[k] {
-				merged[k] = v
+		a.seq.each(func(src, dst int, class Class, v uint64) {
+			if p := merged.slot(src, dst, class); v > *p {
+				*p = v
 			}
-		}
+		})
 	}
-	e.Put("alloc", ckpt.Uint(nextID), ckpt.Uint(uint64(len(merged))))
-	for _, k := range sortedFlowKeys(merged) {
-		e.Put("flow", ckpt.Int(int64(k.src)), ckpt.Int(int64(k.dst)),
-			ckpt.Uint(uint64(k.class)), ckpt.Uint(merged[k]))
-	}
+	e.Put("alloc", ckpt.Uint(nextID), ckpt.Uint(merged.count()))
+	saveFlows(e, "flow", &merged, 0)
 }
 
 // LoadMergedState restores a SaveMergedState snapshot into every target
@@ -154,41 +158,35 @@ func LoadMergedState(d *ckpt.Decoder, allocs ...*Allocator) error {
 	if err := r.Done(); err != nil {
 		return err
 	}
-	merged := make(map[flowKey]uint64, n)
+	var merged flowTable
 	for i := uint64(0); i < n; i++ {
-		fr := d.Record("flow")
-		k := flowKey{src: fr.IntAsInt(), dst: fr.IntAsInt(), class: Class(fr.Uint())}
-		v := fr.Uint()
-		if err := fr.Done(); err != nil {
+		p, v, err := readFlow(d, "flow", &merged)
+		if err != nil {
 			return err
 		}
-		if k.class > Control {
-			return fmt.Errorf("packet: alloc flow class %d out of range", k.class)
+		if *p != 0 {
+			return fmt.Errorf("packet: alloc flow record %d duplicated", i)
 		}
-		if _, dup := merged[k]; dup {
-			return fmt.Errorf("packet: alloc flow %d->%d/%d duplicated", k.src, k.dst, k.class)
+		if v == 0 {
+			return fmt.Errorf("packet: alloc flow record %d has zero sequence count", i)
 		}
-		merged[k] = v
+		*p = v
 	}
 	for _, a := range allocs {
 		a.nextID = nextID
-		a.seq = make(map[flowKey]uint64, len(merged))
-		for k, v := range merged {
-			a.seq[k] = v
-		}
+		a.seq = merged.clone()
 		a.free = a.free[:0]
 	}
 	return nil
 }
 
 // SaveState serializes the order checker: totals plus the last sequence
-// number seen per flow.
+// number seen per flow. The record carries the actual last sequence
+// number (the in-memory lastSeq+1 encoding is undone), so the byte
+// format is independent of the checker's internal representation.
 func (o *OrderChecker) SaveState(e *ckpt.Encoder) {
-	e.Put("order", ckpt.Uint(o.delivered), ckpt.Uint(o.violations), ckpt.Uint(uint64(len(o.last))))
-	for _, k := range sortedFlowKeys(o.last) {
-		e.Put("oflow", ckpt.Int(int64(k.src)), ckpt.Int(int64(k.dst)),
-			ckpt.Uint(uint64(k.class)), ckpt.Uint(o.last[k]))
-	}
+	e.Put("order", ckpt.Uint(o.delivered), ckpt.Uint(o.violations), ckpt.Uint(o.last.count()))
+	saveFlows(e, "oflow", &o.last, 1)
 }
 
 // LoadState restores the order checker, replacing current state.
@@ -198,27 +196,19 @@ func (o *OrderChecker) LoadState(d *ckpt.Decoder) error {
 	if err := r.Done(); err != nil {
 		return err
 	}
-	last := make(map[flowKey]uint64, n)
-	seen := make(map[flowKey]bool, n)
+	var last flowTable
 	for i := uint64(0); i < n; i++ {
-		fr := d.Record("oflow")
-		k := flowKey{src: fr.IntAsInt(), dst: fr.IntAsInt(), class: Class(fr.Uint())}
-		v := fr.Uint()
-		if err := fr.Done(); err != nil {
+		p, v, err := readFlow(d, "oflow", &last)
+		if err != nil {
 			return err
 		}
-		if k.class > Control {
-			return fmt.Errorf("packet: order flow class %d out of range", k.class)
+		if *p != 0 {
+			return fmt.Errorf("packet: order flow record %d duplicated", i)
 		}
-		if _, dup := last[k]; dup {
-			return fmt.Errorf("packet: order flow %d->%d/%d duplicated", k.src, k.dst, k.class)
-		}
-		last[k] = v
-		seen[k] = true
+		*p = v + 1
 	}
 	o.delivered = delivered
 	o.violations = violations
 	o.last = last
-	o.seen = seen
 	return nil
 }

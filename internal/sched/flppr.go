@@ -128,3 +128,20 @@ func (f *FLPPR) TickInto(slot uint64, b Board, m *Matching) {
 
 // SelfCommits implements Scheduler: Tick commits every promised edge.
 func (f *FLPPR) SelfCommits() bool { return true }
+
+// SkipIdle implements IdleSkipper. An idle TickInto iterates every
+// partial matching against an all-zero snapshot (no grants, no commits,
+// no pointer movement), resets the issued slot — already empty on an
+// idle node — and reassigns its sub to slot%k before advancing head.
+// Because the fabric ticks or skips a node's scheduler at every slot
+// exactly once from slot 0, a position is re-issued exactly k ticks
+// after its last issue, so the sub it would be assigned equals the sub
+// it already carries (slot ≡ last-issue slot mod k) and the write is a
+// no-op. The only surviving mutation is the head rotation, applied here
+// in one step.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (f *FLPPR) SkipIdle(n uint64) {
+	f.head = int((uint64(f.head) + n) % uint64(f.k))
+}

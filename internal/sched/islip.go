@@ -80,3 +80,11 @@ func (s *ISLIP) TickInto(_ uint64, b Board, m *Matching) {
 // SelfCommits implements Scheduler: the combinational arbiter's grants
 // execute in the same cycle, so no reservation bookkeeping is needed.
 func (s *ISLIP) SelfCommits() bool { return false }
+
+// SkipIdle implements IdleSkipper: an iSLIP tick against an empty board
+// grants nothing, and pointers only move on first-iteration accepts, so
+// n idle ticks change no state at all.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (s *ISLIP) SkipIdle(uint64) {}

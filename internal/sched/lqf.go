@@ -47,6 +47,12 @@ func (l *LQF) SelfCommits() bool { return false }
 // Reset implements Scheduler.
 func (l *LQF) Reset() {}
 
+// SkipIdle implements IdleSkipper: LQF is memoryless between ticks.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (l *LQF) SkipIdle(uint64) {}
+
 type lqfEdge struct {
 	in, out, w int
 }

@@ -148,3 +148,12 @@ func (p *PIM) TickInto(_ uint64, b Board, m *Matching) {
 
 // SelfCommits implements Scheduler.
 func (p *PIM) SelfCommits() bool { return false }
+
+// SkipIdle implements IdleSkipper: with zero demand no output has any
+// requester, so the grant phase draws nothing from the RNG and breaks
+// out of the iteration loop immediately — an idle tick consumes no
+// randomness and writes no state.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (p *PIM) SkipIdle(uint64) {}

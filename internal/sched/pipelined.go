@@ -97,3 +97,27 @@ func (s *PipelinedISLIP) TickInto(_ uint64, b Board, m *Matching) {
 
 // SelfCommits implements Scheduler: Tick commits every promised edge.
 func (s *PipelinedISLIP) SelfCommits() bool { return true }
+
+// SkipIdle implements IdleSkipper. An idle TickInto matches nothing,
+// commits nothing, resets the rolling write slot, and advances pos — so
+// n idle ticks collapse to pos += n plus resetting the min(n, depth)
+// ring entries the skipped ticks would have overwritten. The resets are
+// not optional: the slot issued at the moment the board drained still
+// holds that last non-empty matching, and a ticked scheduler clears it
+// one slot later, before the ring position ever returns to issue it
+// again. A skip that only advanced pos could land the issue cursor on
+// the stale entry and re-grant cells that no longer exist.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (s *PipelinedISLIP) SkipIdle(n uint64) {
+	d := uint64(s.depth)
+	k := n
+	if k > d {
+		k = d
+	}
+	for i := uint64(0); i < k; i++ {
+		s.delay[(s.pos+d-1+i)%d].Reset()
+	}
+	s.pos += n
+}

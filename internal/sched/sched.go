@@ -146,6 +146,24 @@ type Scheduler interface {
 	Reset()
 }
 
+// IdleSkipper is an optional Scheduler extension: SkipIdle(n) must leave
+// the scheduler in exactly the state n consecutive TickInto calls would —
+// against a board with zero demand everywhere and no outstanding
+// commitments — without paying for the ticks. The fabric's active-set
+// tick loop uses it to stop arbitrating empty switches: a switch whose
+// VOQs, egress queues, and in-flight commitments are all empty is
+// fast-forwarded over its idle slots when the next cell arrives, so
+// skipping is an execution-schedule change, never a state change.
+//
+// Schedulers that mutate state on idle ticks (FLPPR rotates its pipeline
+// head, PipelinedISLIP advances its delay-ring position) implement the
+// equivalent arithmetic; schedulers whose idle tick is a provable no-op
+// implement it as one. A scheduler without this interface is never
+// skipped.
+type IdleSkipper interface {
+	SkipIdle(n uint64)
+}
+
 // Log2Ceil reports ceil(log2(n)), the iteration count the paper cites as
 // required for good utilization on an n-port switch [17].
 func Log2Ceil(n int) int {

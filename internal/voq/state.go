@@ -89,6 +89,14 @@ func (v *VOQSet) LoadState(d *ckpt.Decoder) error {
 			return fmt.Errorf("voq: unexpected record %q in VOQ checkpoint", key)
 		}
 	}
+	// The backlog counters and occupancy row are derived state: rebuild
+	// them from the restored queues and commitment counters instead of
+	// trusting (or storing) serialized copies — the checkpoint format
+	// stays oblivious to both.
+	for out := 0; out < v.n; out++ {
+		v.backlog[out] = v.queues[0][out].Len() + v.queues[1][out].Len()
+		v.syncOcc(out)
+	}
 	return d.End("voqs")
 }
 

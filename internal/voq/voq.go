@@ -12,6 +12,7 @@ package voq
 import (
 	"fmt"
 
+	"repro/internal/bitrow"
 	"repro/internal/packet"
 	"repro/internal/units"
 )
@@ -66,11 +67,22 @@ type VOQSet struct {
 	// must not double-request them.
 	committed []int
 	depth     int // total cells across all queues
+	// occ is the dense uncommitted-occupancy row: bit out is set iff
+	// Uncommitted(out) > 0. Maintained in O(1) by every mutator so
+	// demand boards can hand schedulers whole words instead of
+	// re-deriving two FIFO lengths and a counter per (in, out) pair.
+	// Derived state: checkpoint codecs rebuild it instead of saving it.
+	occ []uint64
+	// backlog[output] mirrors queues[0][out].Len()+queues[1][out].Len()
+	// so the Backlog/Uncommitted hot reads touch one contiguous counter
+	// array instead of two FIFO headers on separate cache lines. Derived
+	// state, rebuilt on restore like occ.
+	backlog []int
 }
 
 // NewVOQSet creates VOQs for a switch with n outputs.
 func NewVOQSet(n int) *VOQSet {
-	v := &VOQSet{n: n, committed: make([]int, n)}
+	v := &VOQSet{n: n, committed: make([]int, n), occ: make([]uint64, bitrow.Words(n)), backlog: make([]int, n)}
 	v.queues[0] = make([]FIFO, n)
 	v.queues[1] = make([]FIFO, n)
 	return v
@@ -79,17 +91,31 @@ func NewVOQSet(n int) *VOQSet {
 // N reports the output count.
 func (v *VOQSet) N() int { return v.n }
 
+// syncOcc re-derives the occupancy bit of one output after a mutation —
+// the only place the bit is ever written, so occ is exact by induction.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (v *VOQSet) syncOcc(out int) {
+	bitrow.SetTo(v.occ, out, v.Backlog(out) > v.committed[out])
+}
+
 // Push enqueues a cell toward its destination queue.
 //
 //osmosis:shardsafe
 func (v *VOQSet) Push(c *packet.Cell, out int) {
 	v.queues[classIndex(c.Class)][out].Push(c)
 	v.depth++
+	v.backlog[out]++
+	v.syncOcc(out)
 }
 
 // Backlog reports queued cells for an output across both classes.
+//
+//osmosis:hotpath
+//osmosis:shardsafe
 func (v *VOQSet) Backlog(out int) int {
-	return v.queues[0][out].Len() + v.queues[1][out].Len()
+	return v.backlog[out]
 }
 
 // Uncommitted reports cells for an output not yet promised to an
@@ -102,13 +128,32 @@ func (v *VOQSet) Uncommitted(out int) int {
 	return u
 }
 
+// UncommittedAt reports whether Uncommitted(out) is positive, from the
+// maintained occupancy bit — no FIFO-length re-derivation.
+func (v *VOQSet) UncommittedAt(out int) bool { return bitrow.Has(v.occ, out) }
+
+// UncommittedBits exposes the maintained uncommitted-occupancy row (bit
+// out set iff Uncommitted(out) > 0). The words are live VOQ state —
+// callers may read or AND-copy them but must never write them.
+func (v *VOQSet) UncommittedBits() []uint64 { return v.occ }
+
 // Commit records that one more cell for out has been promised a grant.
-func (v *VOQSet) Commit(out int) { v.committed[out]++ }
+//
+//osmosis:hotpath
+//osmosis:shardsafe
+func (v *VOQSet) Commit(out int) {
+	v.committed[out]++
+	v.syncOcc(out)
+}
 
 // Uncommit releases a promise (e.g. a matching slot went unused).
+//
+//osmosis:hotpath
+//osmosis:shardsafe
 func (v *VOQSet) Uncommit(out int) {
 	if v.committed[out] > 0 {
 		v.committed[out]--
+		v.syncOcc(out)
 	}
 }
 
@@ -125,9 +170,11 @@ func (v *VOQSet) Pop(out int) *packet.Cell {
 	}
 	if c != nil {
 		v.depth--
+		v.backlog[out]--
 		if v.committed[out] > 0 {
 			v.committed[out]--
 		}
+		v.syncOcc(out)
 	}
 	return c
 }
